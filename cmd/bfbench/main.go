@@ -1,0 +1,198 @@
+// bfbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bfbench -exp all                 # every table and figure
+//	bfbench -exp fig5 -scale full    # one experiment at paper scale
+//	bfbench -exp fig2,fig3,fig4      # the §5 reduction analyses
+//
+// Output is the text/chart rendering of each table or figure; -csvdir
+// additionally writes the underlying series as CSV files for replotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"blackforest/internal/experiments"
+	"blackforest/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2..fig8, power, ladder, transpose, histogram, or all")
+	scale := flag.String("scale", "full", "experiment scale: quick or full")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csvdir := flag.String("csvdir", "", "directory for CSV series output (optional)")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed}
+	switch *scale {
+	case "quick":
+		opts.Scale = experiments.Quick
+	case "full":
+		opts.Scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "bfbench: unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "power", "ladder", "transpose", "histogram"}
+	} else {
+		names = strings.Split(*exp, ",")
+	}
+
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		if err := run(name, opts, *csvdir); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(name string, opts experiments.Options, csvdir string) error {
+	w := os.Stdout
+	switch name {
+	case "table1":
+		return experiments.RenderTable1(w)
+	case "table2":
+		return experiments.RenderTable2(w)
+	case "fig2", "fig3", "fig4":
+		variant := map[string]int{"fig2": 1, "fig3": 2, "fig4": 6}[name]
+		res, err := experiments.RunReductionAnalysis(variant, opts)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		if csvdir != "" {
+			return writeCSV(csvdir, name+"_partial_dependence.csv", res.PDName, res.PDGrid,
+				[]report.Series{{Name: "predicted_time_ms", Y: res.PDResponse}})
+		}
+		return nil
+	case "fig5", "fig6":
+		var res *experiments.ProblemScaling
+		var err error
+		if name == "fig5" {
+			res, err = experiments.RunMatMulPrediction(opts)
+		} else {
+			res, err = experiments.RunNWPrediction(opts)
+		}
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		if csvdir != "" {
+			sizes := make([]float64, len(res.Eval.Chars))
+			for i, c := range res.Eval.Chars {
+				sizes[i] = c["size"]
+			}
+			if err := writeCSV(csvdir, name+"_predictions.csv", "size", sizes, []report.Series{
+				{Name: "measured_ms", Y: res.Eval.Actual},
+				{Name: "predicted_ms", Y: res.Eval.Predicted},
+			}); err != nil {
+				return err
+			}
+			for _, cs := range res.CounterSeries {
+				if err := writeCSV(csvdir, fmt.Sprintf("%s_counter_%s.csv", name, cs.Counter),
+					"size", cs.Sizes, []report.Series{
+						{Name: "measured", Y: cs.Measured},
+						{Name: "modeled", Y: cs.Modeled},
+					}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case "fig7", "fig8":
+		var res *experiments.HWScaling
+		var err error
+		if name == "fig7" {
+			res, err = experiments.RunHWScalingMM(opts)
+		} else {
+			res, err = experiments.RunHWScalingNW(opts)
+		}
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		if csvdir != "" {
+			sizes := make([]float64, len(res.Result.Mixed.Chars))
+			for i, c := range res.Result.Mixed.Chars {
+				sizes[i] = c["size"]
+			}
+			return writeCSV(csvdir, name+"_predictions.csv", "size", sizes, []report.Series{
+				{Name: "measured_ms", Y: res.Result.Mixed.Actual},
+				{Name: "straightforward_ms", Y: res.Result.Straightforward.Predicted},
+				{Name: "mixed_ms", Y: res.Result.Mixed.Predicted},
+			})
+		}
+		return nil
+	case "power":
+		res, err := experiments.RunPowerPrediction(opts)
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
+	case "ladder":
+		res, err := experiments.RunReductionLadder(opts)
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
+	case "transpose":
+		for v := 0; v <= 2; v++ {
+			res, err := experiments.RunTransposeAnalysis(v, opts)
+			if err != nil {
+				return err
+			}
+			if err := res.Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	case "histogram":
+		for v := 0; v <= 1; v++ {
+			res, err := experiments.RunHistogramAnalysis(v, opts)
+			if err != nil {
+				return err
+			}
+			if err := res.Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func writeCSV(dir, file, xName string, xs []float64, series []report.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, file))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteSeriesCSV(f, xName, xs, series); err != nil {
+		return err
+	}
+	return f.Close()
+}

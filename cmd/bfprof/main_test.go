@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSweep(t *testing.T) {
+	lo, hi, step, err := parseSweep("64:1024:64")
+	if err != nil || lo != 64 || hi != 1024 || step != 64 {
+		t.Fatalf("got %d %d %d %v", lo, hi, step, err)
+	}
+	for _, bad := range []string{"", "64:1024", "a:b:c", "64:1024:0", "1024:64:64"} {
+		if _, _, _, err := parseSweep(bad); err == nil {
+			t.Errorf("sweep %q accepted", bad)
+		}
+	}
+}
+
+func TestMakeWorkload(t *testing.T) {
+	cases := map[string]string{
+		"reduce0":    "reduce0",
+		"reduce6":    "reduce6",
+		"transpose1": "transpose1",
+		"histogram0": "histogram0",
+		"matmul":     "matmul",
+		"needle":     "needle",
+	}
+	for arg, wantName := range cases {
+		w, err := makeWorkload(arg, 1024, 256, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", arg, err)
+		}
+		if w.Name() != wantName {
+			t.Fatalf("%s → %s", arg, w.Name())
+		}
+	}
+	for _, bad := range []string{"reduceX", "transposeZ", "cuFFT", "histogramQ"} {
+		if _, err := makeWorkload(bad, 1024, 256, 1); err == nil {
+			t.Errorf("kernel %q accepted", bad)
+		}
+	}
+}
+
+func TestProfileRunsEndToEnd(t *testing.T) {
+	w, err := makeWorkload("reduce2", 8192, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(w.Name(), "reduce") {
+		t.Fatal("wrong workload")
+	}
+}

@@ -1,0 +1,235 @@
+// blackforest is the end-to-end tool: collect counter data for a kernel
+// over a problem-size sweep, build and validate the random forest, report
+// variable importance and bottleneck diagnosis, refine with PCA, and
+// (optionally) predict execution time for unseen problem sizes.
+//
+// Usage:
+//
+//	blackforest -kernel reduce1 -device GTX580            # bottleneck analysis
+//	blackforest -kernel matmul -predict 384,1536          # + problem scaling
+//	blackforest -kernel needle -sweep 64:2048:64 -models mars
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"blackforest/internal/core"
+	"blackforest/internal/dataset"
+	"blackforest/internal/gpusim"
+	"blackforest/internal/kernels"
+	"blackforest/internal/profiler"
+	"blackforest/internal/report"
+)
+
+func main() {
+	kernel := flag.String("kernel", "reduce1", "kernel: reduce0..reduce6, transpose0..transpose2, histogram0..histogram1, matmul, needle")
+	data := flag.String("data", "", "analyze an existing counter CSV (as produced by bfprof -sweep or real nvprof post-processing) instead of profiling")
+	device := flag.String("device", "GTX580", "device: "+strings.Join(gpusim.DeviceNames(), ", "))
+	sweep := flag.String("sweep", "", "size sweep lo:hi:step (defaults per kernel)")
+	predict := flag.String("predict", "", "comma-separated unseen sizes to predict")
+	models := flag.String("models", "auto", "counter models: auto, glm, or mars")
+	topK := flag.Int("topk", 7, "retained most-important predictors")
+	seed := flag.Uint64("seed", 1, "random seed")
+	simBlocks := flag.Int("simblocks", 24, "max blocks simulated in detail per launch")
+	flag.Parse()
+
+	var frame *dataset.Frame
+	if *data != "" {
+		var err error
+		frame, err = dataset.LoadCSV(*data)
+		if err != nil {
+			fatal(err)
+		}
+		if !frame.Has(core.ResponseColumn) {
+			fatal(fmt.Errorf("%s has no %s column", *data, core.ResponseColumn))
+		}
+		frame = frame.DropConstantColumns(core.ResponseColumn, core.PowerColumn)
+		fmt.Printf("loaded %d runs × %d variables from %s\n", frame.NumRows(), frame.NumCols(), *data)
+	} else {
+		dev, err := gpusim.LookupDevice(*device)
+		if err != nil {
+			fatal(err)
+		}
+		runs, err := buildSweep(*kernel, *sweep, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("collecting %d runs of %s on %s...\n", len(runs), *kernel, dev.Name)
+		frame, err = core.Collect(dev, runs, core.CollectOptions{MaxSimBlocks: *simBlocks, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.TopK = *topK
+	a, err := core.Analyze(frame, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nrandom forest: %d trees, OOB MSE %.4g, %%var explained %.1f%%, test R² %.3f\n\n",
+		a.Forest.NumTrees(), a.OOBMSE, 100*a.VarExplained, a.TestR2)
+
+	labels := make([]string, 0, 12)
+	values := make([]float64, 0, 12)
+	for i, imp := range a.Importance {
+		if i >= 12 {
+			break
+		}
+		labels = append(labels, imp.Name)
+		values = append(values, imp.PctIncMSE)
+	}
+	if err := report.BarChart(os.Stdout, "variable importance (%IncMSE):", labels, values, 44); err != nil {
+		fatal(err)
+	}
+
+	bns, err := a.Bottlenecks(*topK)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("\nbottleneck diagnosis:")
+	rows := make([][]string, 0, len(bns))
+	for _, b := range bns {
+		rows = append(rows, []string{
+			strconv.Itoa(b.Rank), b.Counter, b.Direction.String(), b.Pattern, b.Remedy,
+		})
+	}
+	if err := report.Table(os.Stdout, []string{"rank", "counter", "dir", "pattern", "remedy"}, rows); err != nil {
+		fatal(err)
+	}
+
+	if a.NeedsPCA(bns) {
+		fmt.Println("\nimportance is diffuse or nonmonotone — refining with PCA:")
+	} else {
+		fmt.Println("\nPCA refinement:")
+	}
+	ref, err := a.PCARefine(false)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %d components explain %.1f%% of variance\n", ref.Components, 100*ref.ExplainedVariance)
+	for c := 0; c < ref.Components; c++ {
+		fmt.Printf("  PC%d (%s):", c+1, ref.Labels[c])
+		for i, ld := range ref.Loadings[c] {
+			if i >= 4 {
+				break
+			}
+			fmt.Printf(" %s=%+.2f", ld.Variable, ld.Value)
+		}
+		fmt.Println()
+	}
+
+	if *predict == "" {
+		return
+	}
+	kind := core.AutoModel
+	switch *models {
+	case "glm":
+		kind = core.GLMModel
+	case "mars":
+		kind = core.MARSModel
+	}
+	scaler, err := core.NewProblemScaler(a, *topK, kind)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nproblem-scaling predictions (counter models: %s, mean R² %.3f):\n",
+		*models, scaler.AverageCounterR2())
+	for _, s := range strings.Split(*predict, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal(fmt.Errorf("bad size %q: %w", s, err))
+		}
+		chars := map[string]float64{"size": float64(n)}
+		if frame.Has("block_size") {
+			chars["block_size"] = 256
+		}
+		t, err := scaler.PredictTime(chars)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  size %8d → %.4f ms\n", n, t)
+	}
+}
+
+// buildSweep creates the collection runs for a kernel, using per-kernel
+// default sweeps when none is given.
+func buildSweep(kernel, sweep string, seed uint64) ([]profiler.Workload, error) {
+	type mk func(n int, seed uint64) (profiler.Workload, error)
+	var make_ mk
+	var defSweep string
+	switch {
+	case strings.HasPrefix(kernel, "transpose"):
+		v, err := strconv.Atoi(strings.TrimPrefix(kernel, "transpose"))
+		if err != nil || v < 0 || v > 2 {
+			return nil, fmt.Errorf("unknown kernel %q", kernel)
+		}
+		defSweep = "32:2048:96"
+		make_ = func(n int, seed uint64) (profiler.Workload, error) {
+			return &kernels.Transpose{Variant: v, N: (n / 32) * 32, Seed: seed}, nil
+		}
+	case strings.HasPrefix(kernel, "histogram"):
+		v, err := strconv.Atoi(strings.TrimPrefix(kernel, "histogram"))
+		if err != nil || v < 0 || v > 1 {
+			return nil, fmt.Errorf("unknown kernel %q", kernel)
+		}
+		defSweep = "65536:4194304:131072"
+		make_ = func(n int, seed uint64) (profiler.Workload, error) {
+			return &kernels.Histogram{Variant: v, N: n, Seed: seed}, nil
+		}
+	case strings.HasPrefix(kernel, "reduce"):
+		v, err := strconv.Atoi(strings.TrimPrefix(kernel, "reduce"))
+		if err != nil || v < 0 || v > 6 {
+			return nil, fmt.Errorf("unknown kernel %q", kernel)
+		}
+		defSweep = "4096:1048576:32768"
+		make_ = func(n int, seed uint64) (profiler.Workload, error) {
+			return &kernels.Reduction{Variant: v, N: n, BlockSize: 256, Seed: seed}, nil
+		}
+	case kernel == "matmul":
+		defSweep = "32:2048:96"
+		make_ = func(n int, seed uint64) (profiler.Workload, error) {
+			return &kernels.MatMul{N: (n / 16) * 16, Seed: seed}, nil
+		}
+	case kernel == "needle":
+		defSweep = "64:4096:64"
+		make_ = func(n int, seed uint64) (profiler.Workload, error) {
+			return &kernels.NeedlemanWunsch{SeqLen: n, Seed: seed}, nil
+		}
+	default:
+		return nil, fmt.Errorf("unknown kernel %q", kernel)
+	}
+	if sweep == "" {
+		sweep = defSweep
+	}
+	parts := strings.Split(sweep, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("sweep %q must be lo:hi:step", sweep)
+	}
+	lo, err1 := strconv.Atoi(parts[0])
+	hi, err2 := strconv.Atoi(parts[1])
+	step, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || step <= 0 {
+		return nil, fmt.Errorf("bad sweep %q", sweep)
+	}
+	var runs []profiler.Workload
+	for n := lo; n <= hi; n += step {
+		seed++
+		w, err := make_(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, w)
+	}
+	return runs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blackforest:", err)
+	os.Exit(1)
+}

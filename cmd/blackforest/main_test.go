@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestBuildSweepDefaults(t *testing.T) {
+	cases := []string{"reduce0", "reduce6", "matmul", "needle", "transpose0", "histogram1"}
+	for _, kernel := range cases {
+		runs, err := buildSweep(kernel, "", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kernel, err)
+		}
+		if len(runs) < 10 {
+			t.Fatalf("%s default sweep has only %d runs", kernel, len(runs))
+		}
+	}
+}
+
+func TestBuildSweepCustom(t *testing.T) {
+	runs, err := buildSweep("matmul", "32:128:32", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("custom sweep has %d runs, want 4", len(runs))
+	}
+}
+
+func TestBuildSweepErrors(t *testing.T) {
+	cases := []struct{ kernel, sweep string }{
+		{"nope", ""},
+		{"reduce9", ""},
+		{"matmul", "32:128"},
+		{"matmul", "a:b:c"},
+		{"matmul", "32:128:0"},
+	}
+	for _, c := range cases {
+		if _, err := buildSweep(c.kernel, c.sweep, 1); err == nil {
+			t.Errorf("kernel=%q sweep=%q accepted", c.kernel, c.sweep)
+		}
+	}
+}

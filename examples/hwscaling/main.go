@@ -1,0 +1,71 @@
+// Hardware scaling — the paper's §6.2: train BlackForest on a Fermi
+// GTX580, inject the Table 2 machine characteristics, and predict matrix-
+// multiply execution times on a Kepler K20m. The example also runs the
+// importance-similarity test and shows the mixed-variable workaround the
+// paper needs for Needleman-Wunsch, where Fermi and Kepler counter
+// rankings diverge.
+//
+// Run with: go run ./examples/hwscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blackforest"
+)
+
+func main() {
+	gtx580, err := blackforest.LookupDevice("GTX580")
+	if err != nil {
+		log.Fatal(err)
+	}
+	k20m, err := blackforest.LookupDevice("K20m")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sweep := func(base uint64) []blackforest.Workload {
+		var runs []blackforest.Workload
+		for r := 0; r < 3; r++ {
+			for n := 32; n <= 1024; n *= 2 {
+				base++
+				runs = append(runs, &blackforest.MatMul{N: n, Seed: base})
+			}
+		}
+		return runs
+	}
+	opt := blackforest.CollectOptions{MaxSimBlocks: 16}
+
+	fmt.Println("profiling matmul sweep on GTX580 (training GPU)...")
+	trainFrame, err := blackforest.Collect(gtx580, sweep(1), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("profiling matmul sweep on K20m (target GPU)...")
+	opt.Seed = 99
+	targetFrame, err := blackforest.Collect(k20m, sweep(1000), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := blackforest.DefaultConfig()
+	hw, err := blackforest.HardwareScale(trainFrame, targetFrame, gtx580, k20m, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ntop variables on %s: %v\n", hw.TrainDevice, hw.TrainImportance)
+	fmt.Printf("top variables on %s: %v\n", hw.TargetDevice, hw.TargetImportance)
+	fmt.Printf("importance similarity: %.2f (similar: %v)\n\n", hw.Similarity, hw.Similar)
+
+	fmt.Printf("straightforward K20m predictions: MSE %.4g, R² %.3f\n",
+		hw.Straightforward.MSE, hw.Straightforward.R2)
+	for i := range hw.Straightforward.Actual {
+		fmt.Printf("  size=%5.0f measured=%8.4f ms predicted=%8.4f ms\n",
+			hw.Straightforward.Chars[i]["size"],
+			hw.Straightforward.Actual[i], hw.Straightforward.Predicted[i])
+	}
+	fmt.Printf("\nmixed-variable predictions (%v):\n  MSE %.4g, R² %.3f\n",
+		hw.MixedVariables, hw.Mixed.MSE, hw.Mixed.R2)
+}

@@ -1,0 +1,72 @@
+// Matrix-multiply problem scaling — the paper's §6.1.1: profile the tiled
+// CUDA SDK matrix multiply over sizes 2^5..2^11 on a simulated GTX580,
+// train the forest, retain the top counters, model them as functions of
+// the matrix size, and predict execution times for sizes never profiled.
+//
+// Run with: go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blackforest"
+)
+
+func main() {
+	dev, err := blackforest.LookupDevice("GTX580")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 24 runs: sizes 2^5..2^11 with repeated fresh inputs.
+	var runs []blackforest.Workload
+	seed := uint64(100)
+	for r := 0; r < 3; r++ {
+		for n := 32; n <= 2048; n *= 2 {
+			seed++
+			runs = append(runs, &blackforest.MatMul{N: n, Seed: seed})
+		}
+	}
+	for _, n := range []int{32, 64, 128} {
+		seed++
+		runs = append(runs, &blackforest.MatMul{N: n, Seed: seed})
+	}
+
+	frame, err := blackforest.Collect(dev, runs, blackforest.CollectOptions{MaxSimBlocks: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := blackforest.DefaultConfig()
+	analysis, err := blackforest.Analyze(frame, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("matmul on %s: %%var explained %.1f%%\n\n", dev.Name, 100*analysis.VarExplained)
+	fmt.Println("top counters (the store-throughput family dominates, as in the paper):")
+	for i, imp := range analysis.Importance {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %d. %-28s %.2f\n", i+1, imp.Name, imp.PctIncMSE)
+	}
+
+	scaler, err := blackforest.NewProblemScaler(analysis, cfg.TopK, blackforest.AutoModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncounter models (mean R² %.3f):\n", scaler.AverageCounterR2())
+	for name, m := range scaler.Models {
+		fmt.Printf("  %-28s %-5s R²=%.3f\n", name, m.Kind, m.TrainR2)
+	}
+
+	fmt.Println("\npredictions for unseen matrix sizes:")
+	for _, n := range []float64{192, 384, 768, 1536} {
+		t, err := scaler.PredictTime(map[string]float64{"size": n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n=%5.0f → %8.4f ms\n", n, t)
+	}
+}

@@ -1,0 +1,64 @@
+// Needleman-Wunsch problem scaling — the paper's §6.1.2: profile the
+// Rodinia NW aligner over sequence lengths on a simulated GTX580 and
+// predict unseen lengths using MARS counter models (the R "earth"
+// equivalent), as the paper does when simple linear models are inadequate.
+//
+// Run with: go run ./examples/nw
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blackforest"
+)
+
+func main() {
+	dev, err := blackforest.LookupDevice("GTX580")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sequence lengths 64..2048 with a pitch of 64.
+	var runs []blackforest.Workload
+	seed := uint64(7)
+	for n := 64; n <= 2048; n += 64 {
+		seed++
+		runs = append(runs, &blackforest.NeedlemanWunsch{SeqLen: n, Seed: seed})
+	}
+	frame, err := blackforest.Collect(dev, runs, blackforest.CollectOptions{MaxSimBlocks: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := blackforest.DefaultConfig()
+	analysis, err := blackforest.Analyze(frame, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("needle on %s: %%var explained %.1f%%, test R² %.3f\n\n",
+		dev.Name, 100*analysis.VarExplained, analysis.TestR2)
+
+	fmt.Println("top predictors (occupancy and size lead, as in Fig 6a):")
+	for i, imp := range analysis.Importance {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %d. %-28s %.2f\n", i+1, imp.Name, imp.PctIncMSE)
+	}
+
+	scaler, err := blackforest.NewProblemScaler(analysis, cfg.TopK, blackforest.MARSModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMARS counter models, mean R² %.3f (paper: 0.99)\n", scaler.AverageCounterR2())
+
+	fmt.Println("\npredictions for unseen sequence lengths:")
+	for _, n := range []float64{96, 352, 1120, 1696} {
+		t, err := scaler.PredictTime(map[string]float64{"size": n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  len=%5.0f → %8.4f ms\n", n, t)
+	}
+}

@@ -1,0 +1,65 @@
+// Power prediction — the paper's §7 extension: "our method is not limited
+// to predicting execution time - one could use other metrics of interest,
+// such as power, as response variable". This example trains BlackForest
+// with the board's average power draw as the response, shows which
+// counters drive consumption, and predicts the power of unseen sizes.
+//
+// Run with: go run ./examples/power
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blackforest"
+)
+
+func main() {
+	dev, err := blackforest.LookupDevice("GTX580")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var runs []blackforest.Workload
+	seed := uint64(1)
+	for r := 0; r < 3; r++ {
+		for n := 32; n <= 1024; n *= 2 {
+			seed++
+			runs = append(runs, &blackforest.MatMul{N: n, Seed: seed})
+		}
+	}
+	frame, err := blackforest.Collect(dev, runs, blackforest.CollectOptions{MaxSimBlocks: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := blackforest.DefaultConfig()
+	cfg.Response = blackforest.PowerColumn
+	analysis, err := blackforest.Analyze(frame, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("power model on %s: %%var explained %.1f%%, test R² %.3f\n\n",
+		dev.Name, 100*analysis.VarExplained, analysis.TestR2)
+
+	fmt.Println("counters driving power draw:")
+	for i, imp := range analysis.Importance {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %d. %-28s %.2f\n", i+1, imp.Name, imp.PctIncMSE)
+	}
+
+	scaler, err := blackforest.NewProblemScaler(analysis, cfg.TopK, blackforest.AutoModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npredicted power draw for unseen matrix sizes:")
+	for _, n := range []float64{192, 384, 768} {
+		p, err := scaler.PredictTime(map[string]float64{"size": n}) // response is power_w here
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n=%5.0f → %6.1f W\n", n, p)
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: profile the CUDA SDK reduce2 kernel over a handful of array
+// sizes on a simulated GTX580, train the BlackForest random forest, print
+// the most influential performance counters, and predict the execution
+// time of an unseen size.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blackforest"
+)
+
+func main() {
+	dev, err := blackforest.LookupDevice("GTX580")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1 — data collection: one run per (size, block size) pair.
+	var runs []blackforest.Workload
+	seed := uint64(1)
+	for _, bs := range []int{128, 256, 512} {
+		for n := 1 << 12; n <= 1<<20; n *= 4 {
+			seed++
+			runs = append(runs, &blackforest.Reduction{
+				Variant: 2, N: n, BlockSize: bs, Seed: seed,
+			})
+		}
+	}
+	frame, err := blackforest.Collect(dev, runs, blackforest.CollectOptions{MaxSimBlocks: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d runs × %d variables on %s\n", frame.NumRows(), frame.NumCols(), dev.Name)
+
+	// Stages 2–3 — forest construction, validation, variable importance.
+	cfg := blackforest.DefaultConfig()
+	cfg.Forest.NTrees = 200
+	analysis, err := blackforest.Analyze(frame, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forest: OOB %%var explained %.1f%%, held-out R² %.3f\n\n",
+		100*analysis.VarExplained, analysis.TestR2)
+
+	fmt.Println("most influential counters (%IncMSE):")
+	for i, imp := range analysis.Importance {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. %-28s %.3f\n", i+1, imp.Name, imp.PctIncMSE)
+	}
+
+	// Stage 5 — problem scaling: predict an unseen size.
+	scaler, err := blackforest.NewProblemScaler(analysis, cfg.TopK, blackforest.AutoModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []float64{100_000, 2_000_000} {
+		t, err := scaler.PredictTime(map[string]float64{"size": n, "block_size": 256})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\npredicted time for unseen size %.0f (block 256): %.4f ms", n, t)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module blackforest
+
+go 1.22

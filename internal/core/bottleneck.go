@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+
+	"blackforest/internal/stats"
+)
+
+// Direction describes how a counter's partial dependence moves the
+// predicted execution time over the counter's observed range.
+type Direction int
+
+const (
+	// Mixed: no monotone relationship over the full range — the paper's
+	// cue to fall back on PCA ("variables are strongly correlated only
+	// for part of the range").
+	Mixed Direction = iota
+	// Positive: more of the counter ⇒ more time.
+	Positive
+	// Negative: more of the counter ⇒ less time.
+	Negative
+)
+
+// String returns the direction label.
+func (d Direction) String() string {
+	switch d {
+	case Positive:
+		return "positive"
+	case Negative:
+		return "negative"
+	default:
+		return "mixed"
+	}
+}
+
+// Bottleneck is one diagnosed performance limiter: an influential counter,
+// how it moves the predicted time, the performance pattern it signals, and
+// a suggested elimination strategy (§1: "variable importance can be
+// correlated to performance patterns, enabling us to provide systematic
+// bottleneck detection … as well as suggest potential elimination
+// strategies").
+type Bottleneck struct {
+	Counter     string
+	Rank        int     // 1-based importance rank
+	PctIncMSE   float64 // scaled permutation importance
+	Direction   Direction
+	Correlation float64 // Pearson r of the partial-dependence profile
+	Pattern     string
+	Remedy      string
+}
+
+// patternRules map counter-name fragments to performance patterns and
+// remedies, in priority order.
+var patternRules = []struct {
+	fragment string
+	pattern  string
+	remedy   string
+}{
+	{"shared_replay_overhead", "shared memory bank conflicts serializing warp instructions", "pad shared arrays or switch to sequential addressing so lanes hit distinct banks"},
+	{"l1_shared_bank_conflict", "shared memory bank conflicts", "restructure shared-memory indexing (e.g. +1 padding) to spread lanes across banks"},
+	{"shared_load_replay", "shared memory load replays (bank conflicts)", "restructure shared-memory indexing to avoid multi-way bank access"},
+	{"shared_store_replay", "shared memory store replays (bank conflicts)", "restructure shared-memory indexing to avoid multi-way bank access"},
+	{"inst_replay_overhead", "instruction replays (serialization from conflicts or uncoalesced accesses)", "remove the underlying conflicts: coalesce global accesses and fix shared-memory patterns"},
+	{"divergent_branch", "warp divergence serializing execution paths", "reorganize thread-to-data mapping so warps branch uniformly"},
+	{"l1_global_load_miss", "poor global-load locality (L1 misses)", "improve spatial locality or stage reused data in shared memory"},
+	{"l1_global_load_hit", "global-load traffic served by L1", "working set is cache-resident; consider increasing occupancy or ILP to cover the remaining latency"},
+	{"global_store_transaction", "global store traffic (uncoalesced or voluminous stores)", "coalesce stores and widen per-thread output to amortize transactions"},
+	{"l2_read_transactions", "L2 read traffic", "reduce memory footprint or improve reuse in shared memory/L1"},
+	{"l2_write_transactions", "L2 write traffic", "reduce write volume or coalesce stores"},
+	{"l2_read_throughput", "memory subsystem read pressure", "reduce redundant loads; stage reused tiles in shared memory"},
+	{"l2_write_throughput", "memory subsystem write pressure", "reduce write volume or batch outputs"},
+	{"dram_read_throughput", "device-memory bandwidth pressure (reads)", "the kernel is nearing the bandwidth roof; reduce bytes moved per result"},
+	{"dram_write_throughput", "device-memory bandwidth pressure (writes)", "reduce bytes written per result"},
+	{"gld_requested_throughput", "requested load bandwidth below hardware capability", "issue wider or more concurrent loads to saturate the memory system"},
+	{"gst_requested_throughput", "requested store bandwidth", "balance store volume against available bandwidth"},
+	{"gld_efficiency", "gap between requested and delivered load bytes (coalescing)", "align and coalesce global loads to warp-contiguous segments"},
+	{"gst_efficiency", "gap between requested and delivered store bytes (coalescing)", "align and coalesce global stores"},
+	{"gld_request", "global load instruction volume", "increase data reuse (shared memory tiling) to cut load instructions"},
+	{"gst_request", "global store instruction volume", "accumulate in registers and store once per result"},
+	{"achieved_occupancy", "insufficient resident warps to hide latency", "raise occupancy: smaller blocks' register/shared footprints, or more blocks"},
+	{"issue_slot_utilization", "issue-slot pressure", "reduce instruction count or replays"},
+	{"warp_execution_efficiency", "idle lanes within warps", "map work so all 32 lanes stay active (avoid tiny blocks and divergence)"},
+	{"ipc", "instruction throughput", "kernel is compute-limited; reduce per-thread instruction count"},
+	{"ldst_fu_utilization", "load/store unit pressure", "reduce memory instruction count via wider accesses"},
+	{"atomic_replay_overhead", "atomic same-address contention serializing read-modify-writes", "privatize accumulators (per-block shared copies) or spread updates over more addresses"},
+	{"shared_atom_count", "shared-memory atomic volume", "accumulate per-thread partials in registers before the atomic merge"},
+	{"atom_count", "global atomic operation volume", "privatize accumulators in shared memory and merge once per block"},
+	{"shared_load", "shared memory load volume", "exploit register reuse to cut shared traffic"},
+	{"shared_store", "shared memory store volume", "exploit register reuse to cut shared traffic"},
+	{"inst_executed", "total instruction volume", "reduce per-thread work or strength-reduce the inner loop"},
+	{"inst_issued", "total issue volume including replays", "remove replay sources and redundant instructions"},
+	{"branch", "branch volume", "unroll loops and flatten control flow"},
+	{"size", "problem size (scaling driver, not a hardware bottleneck)", "expected driver of execution time"},
+	{"block_size", "launch configuration", "tune threads per block for occupancy and coalescing"},
+}
+
+// classify returns the pattern/remedy for a counter name.
+func classify(name string) (pattern, remedy string) {
+	for _, r := range patternRules {
+		if strings.Contains(name, r.fragment) {
+			return r.pattern, r.remedy
+		}
+	}
+	return "unclassified counter", "inspect the kernel with this counter in mind"
+}
+
+// Bottlenecks diagnoses the top-k most important predictors: each gets its
+// partial-dependence direction and a performance-pattern classification.
+// Counters whose partial dependence rises with time (Positive) are the
+// performance bottlenecks in the paper's sense.
+func (a *Analysis) Bottlenecks(k int) ([]Bottleneck, error) {
+	const gridSize = 25
+	if k > len(a.Importance) {
+		k = len(a.Importance)
+	}
+	out := make([]Bottleneck, 0, k)
+	for i := 0; i < k; i++ {
+		imp := a.Importance[i]
+		grid, resp, err := a.Forest.PartialDependence(imp.Name, gridSize)
+		if err != nil {
+			return nil, err
+		}
+		r := stats.Correlation(grid, resp)
+		dir := Mixed
+		switch {
+		case r > 0.6:
+			dir = Positive
+		case r < -0.6:
+			dir = Negative
+		}
+		pattern, remedy := classify(imp.Name)
+		out = append(out, Bottleneck{
+			Counter:     imp.Name,
+			Rank:        i + 1,
+			PctIncMSE:   imp.PctIncMSE,
+			Direction:   dir,
+			Correlation: r,
+			Pattern:     pattern,
+			Remedy:      remedy,
+		})
+	}
+	return out, nil
+}
+
+// NeedsPCA reports whether the analysis hits the paper's pathological
+// cases: low variance explained, or no top predictor with a clean monotone
+// partial dependence — the cue to refine with PCA.
+func (a *Analysis) NeedsPCA(bottlenecks []Bottleneck) bool {
+	if a.VarExplained < 0.8 {
+		return true
+	}
+	for _, b := range bottlenecks {
+		if b.Direction != Mixed {
+			return false
+		}
+	}
+	return true
+}

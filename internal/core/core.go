@@ -1,0 +1,143 @@
+// Package core implements BlackForest itself — the paper's contribution:
+// a statistical performance-analysis pipeline over GPU hardware performance
+// counters. The five stages of §4.2 map onto this package as follows:
+//
+//  1. Data collection        — Collect (profiles a workload sweep into a frame)
+//  2. RF construction and
+//     validation             — Analyze (80:20 split, forest fit, test metrics)
+//  3. Variable importance    — Analysis.Importance, Analysis.Reduce (top-k
+//     refit with predictive-power check), partial dependence
+//  4. Refinement with PCA    — Analysis.PCARefine (components, loadings,
+//     varimax)
+//  5. Results interpretation — bottleneck classification (bottleneck.go),
+//     counter models in problem characteristics (scaling.go), problem-
+//     and hardware-scaling prediction (scaling.go, hwscale.go)
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"blackforest/internal/dataset"
+	"blackforest/internal/forest"
+	"blackforest/internal/gpusim"
+	"blackforest/internal/profiler"
+)
+
+// ResponseColumn is the default response variable in collected frames.
+const ResponseColumn = "time_ms"
+
+// PowerColumn is the alternative response of the paper's §7 extension:
+// average power draw, as read from the board sensor (modeled here by the
+// simulator's energy model).
+const PowerColumn = "power_w"
+
+// responseColumns lists every column that is a response rather than a
+// predictor; whichever is not being modeled is excluded from the
+// predictor set (it would leak the answer).
+var responseColumns = []string{ResponseColumn, PowerColumn}
+
+// Config controls the modeling pipeline.
+type Config struct {
+	// Response is the response column: ResponseColumn (default) or
+	// PowerColumn for the paper's §7 power-modeling extension.
+	Response string
+	// TrainFrac is the training share of the random split (paper: 0.8).
+	TrainFrac float64
+	// Forest configures the random forest.
+	Forest forest.Config
+	// TopK is how many of the most important predictors the reduced
+	// model retains (paper: "usually between 6 and 8").
+	TopK int
+	// PCAVariance is the explained-variance target for component
+	// retention in the PCA refinement (paper: ≥96–97%).
+	PCAVariance float64
+	// Seed drives the split and the forest.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		TrainFrac:   0.8,
+		Forest:      forest.DefaultConfig(),
+		TopK:        7,
+		PCAVariance: 0.96,
+	}
+}
+
+// CollectOptions controls data collection.
+type CollectOptions struct {
+	// MaxSimBlocks caps per-launch detailed simulation (0 = all blocks).
+	MaxSimBlocks int
+	// NoiseSigma is the profiler's measurement noise (0 = default 1.5%,
+	// negative = none).
+	NoiseSigma float64
+	// Seed seeds the profiler noise.
+	Seed uint64
+}
+
+// Collect profiles every workload run on the device and assembles the
+// modeling frame: one row per run with problem characteristics, all
+// counters available on the device's architecture, and the response
+// column time_ms. Constant (zero-variance) counters are dropped — they
+// cannot inform the forest.
+func Collect(dev *gpusim.Device, runs []profiler.Workload, opt CollectOptions) (*dataset.Frame, error) {
+	if len(runs) == 0 {
+		return nil, errors.New("core: no runs to collect")
+	}
+	p := profiler.New(dev, profiler.Options{
+		MaxSimBlocks: opt.MaxSimBlocks,
+		NoiseSigma:   opt.NoiseSigma,
+		Seed:         opt.Seed,
+	})
+	profiles := make([]*profiler.Profile, 0, len(runs))
+	for i, w := range runs {
+		prof, err := p.Run(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: collecting run %d (%s): %w", i, w.Name(), err)
+		}
+		profiles = append(profiles, prof)
+		// Large workloads (NW holds an O(n²) matrix) would otherwise
+		// accumulate across the sweep.
+		if rel, ok := w.(interface{ Release() }); ok {
+			rel.Release()
+		}
+	}
+	frame, err := profiler.ToFrame(profiles)
+	if err != nil {
+		return nil, err
+	}
+	return frame.DropConstantColumns(responseColumns...), nil
+}
+
+// Predictors returns the frame's predictor columns: everything except the
+// response columns (time and power — whichever is not being modeled must
+// not be a predictor either, since each nearly determines the other).
+func Predictors(frame *dataset.Frame) []string {
+	var out []string
+	for _, n := range frame.Names() {
+		if !isResponse(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// isResponse reports whether the column is a response variable.
+func isResponse(name string) bool {
+	for _, r := range responseColumns {
+		if name == r {
+			return true
+		}
+	}
+	return false
+}
+
+// response returns the configured response column name.
+func (c Config) response() string {
+	if c.Response == "" {
+		return ResponseColumn
+	}
+	return c.Response
+}

@@ -1,0 +1,119 @@
+package cpusim
+
+import "fmt"
+
+// CPUReduction is the multicore float32 sum reduction: each thread reduces
+// a chunk with SIMD, then a log-tree combine.
+type CPUReduction struct {
+	N       int
+	Threads int // 0 = all cores
+}
+
+// Name implements Workload.
+func (r *CPUReduction) Name() string { return "cpu_reduce" }
+
+// Characteristics implements Workload.
+func (r *CPUReduction) Characteristics() map[string]float64 {
+	return map[string]float64{"size": float64(r.N)}
+}
+
+// Totals implements Workload.
+func (r *CPUReduction) Totals(c *CPU) Totals {
+	n := float64(r.N)
+	threads := r.Threads
+	if threads <= 0 {
+		threads = c.Cores
+	}
+	return Totals{
+		VectorOps:    n,                                  // one add per element
+		ScalarOps:    n/8 + float64(threads*c.SIMDWidth), // loop control + final combine
+		Bytes:        4 * n,                              // streamed once
+		Branches:     n / float64(c.SIMDWidth) / 4,       // unrolled by 4
+		BranchMisses: float64(threads),
+		Threads:      threads,
+	}
+}
+
+// CPUMatMul is the blocked (cache-tiled) float32 matrix multiply.
+type CPUMatMul struct {
+	N       int
+	Threads int
+}
+
+// Name implements Workload.
+func (m *CPUMatMul) Name() string { return "cpu_matmul" }
+
+// Characteristics implements Workload.
+func (m *CPUMatMul) Characteristics() map[string]float64 {
+	return map[string]float64{"size": float64(m.N)}
+}
+
+// Totals implements Workload.
+func (m *CPUMatMul) Totals(c *CPU) Totals {
+	n := float64(m.N)
+	threads := m.Threads
+	if threads <= 0 {
+		threads = c.Cores
+	}
+	flops := 2 * n * n * n
+	return Totals{
+		VectorOps:  flops,
+		ScalarOps:  flops / 16, // index arithmetic amortized by tiling
+		Bytes:      3 * 4 * n * n,
+		ReuseBytes: 4 * n * n * (n / 64), // tile reuse traffic absorbed by caches
+		Branches:   flops / float64(c.SIMDWidth) / 8,
+		Threads:    threads,
+	}
+}
+
+// CPUNeedlemanWunsch is the wavefront-parallel DP fill; parallelism is
+// limited by the anti-diagonal length.
+type CPUNeedlemanWunsch struct {
+	SeqLen  int
+	Threads int
+}
+
+// Name implements Workload.
+func (nw *CPUNeedlemanWunsch) Name() string { return "cpu_needle" }
+
+// Characteristics implements Workload.
+func (nw *CPUNeedlemanWunsch) Characteristics() map[string]float64 {
+	return map[string]float64{"size": float64(nw.SeqLen)}
+}
+
+// Totals implements Workload.
+func (nw *CPUNeedlemanWunsch) Totals(c *CPU) Totals {
+	n := float64(nw.SeqLen)
+	threads := nw.Threads
+	if threads <= 0 {
+		threads = c.Cores
+	}
+	cells := n * n
+	return Totals{
+		ScalarOps:    8 * cells, // max3 + adds + index math; DP resists SIMD
+		Bytes:        4 * cells,
+		ReuseBytes:   8 * cells,
+		Branches:     2 * cells,
+		BranchMisses: cells / 8, // data-dependent max choices
+		Threads:      threads,
+	}
+}
+
+// Validate checks a workload's parameters before profiling.
+func Validate(w Workload) error {
+	switch v := w.(type) {
+	case *CPUReduction:
+		if v.N < 1 {
+			return fmt.Errorf("cpusim: reduction size %d must be positive", v.N)
+		}
+	case *CPUMatMul:
+		if v.N < 1 {
+			return fmt.Errorf("cpusim: matmul size %d must be positive", v.N)
+		}
+	case *CPUNeedlemanWunsch:
+		if v.SeqLen < 1 {
+			return fmt.Errorf("cpusim: sequence length %d must be positive", v.SeqLen)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts shrinks every experiment for test time.
+func quickOpts() Options { return Options{Scale: Quick, Seed: 3} }
+
+func TestRenderTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTable1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, counter := range []string{"shared_replay_overhead", "achieved_occupancy", "ipc", "warp_execution_efficiency"} {
+		if !strings.Contains(out, counter) {
+			t.Errorf("Table 1 missing %s", counter)
+		}
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTable2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, cell := range []string{"wsched", "mbw", "GTX480", "K20m", "177.4", "208", "1280"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("Table 2 missing %q", cell)
+		}
+	}
+}
+
+func TestSweepSizes(t *testing.T) {
+	if n := len(MatMulSweep(Options{Scale: Full})); n != 24 {
+		t.Fatalf("full MM sweep has %d runs, want 24 (paper)", n)
+	}
+	if n := len(NWSweep(Options{Scale: Full})); n != 128 {
+		t.Fatalf("full NW sweep has %d runs, want 128 (64..8192 step 64)", n)
+	}
+	if n := len(ReductionSweep(1, Options{Scale: Full})); n > 100 {
+		t.Fatalf("reduction sweep %d runs exceeds the paper's <100 budget", n)
+	}
+	if len(MatMulSweep(quickOpts())) >= 24 {
+		t.Fatal("quick MM sweep not smaller than full")
+	}
+}
+
+func TestRunReductionAnalysisQuick(t *testing.T) {
+	res, err := RunReductionAnalysis(1, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variant != 1 || res.Device != "GTX580" {
+		t.Fatal("metadata wrong")
+	}
+	if len(res.Analysis.Importance) < 10 {
+		t.Fatalf("only %d predictors", len(res.Analysis.Importance))
+	}
+	if res.PCA.Components < 1 {
+		t.Fatal("no PCA components")
+	}
+	if len(res.PDGrid) == 0 || len(res.PDGrid) != len(res.PDResponse) {
+		t.Fatal("partial dependence missing")
+	}
+	// reduce1 must show a bank-conflict signal somewhere in the data.
+	if !res.Frame.Has("shared_replay_overhead") {
+		t.Fatal("reduce1 frame lacks shared_replay_overhead")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "variable importance") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestReduce2LacksConflictSignal(t *testing.T) {
+	// Figure 3's headline: reduce1's top counter vanishes for reduce2.
+	res, err := RunReductionAnalysis(2, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant-zero counters are dropped during collection.
+	if res.Frame.Has("shared_replay_overhead") {
+		col := res.Frame.MustColumn("shared_replay_overhead")
+		for _, v := range col {
+			if v != 0 {
+				t.Fatalf("reduce2 shows shared replay overhead %v", v)
+			}
+		}
+	}
+}
+
+func TestRunMatMulPredictionQuick(t *testing.T) {
+	res, err := RunMatMulPrediction(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "matmul" {
+		t.Fatal("workload name wrong")
+	}
+	if res.Eval == nil || len(res.Eval.Predicted) == 0 {
+		t.Fatal("no predictions")
+	}
+	if len(res.CounterSeries) == 0 {
+		t.Fatal("no counter series")
+	}
+	for _, cs := range res.CounterSeries {
+		if cs.Kind != "glm" && cs.Kind != "mars" {
+			t.Fatalf("counter %s has kind %q", cs.Counter, cs.Kind)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "predicted vs measured") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunHWScalingMMQuick(t *testing.T) {
+	res, err := RunHWScalingMM(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := res.Result
+	if hw.TrainDevice != "GTX580" || hw.TargetDevice != "K20m" {
+		t.Fatal("devices wrong")
+	}
+	if hw.Straightforward == nil || hw.Mixed == nil {
+		t.Fatal("evaluations missing")
+	}
+	if len(hw.TrainImportance) == 0 || len(hw.TargetImportance) == 0 {
+		t.Fatal("importance rankings missing")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hardware scaling GTX580 → K20m") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunReductionLadder(t *testing.T) {
+	res, err := RunReductionLadder(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Monotone improvement from reduce0 to reduce6 (allowing equal
+	// neighbors for the fully-optimized tail).
+	if !(res.Rows[0].TimeMS > res.Rows[2].TimeMS && res.Rows[2].TimeMS > res.Rows[6].TimeMS) {
+		t.Fatalf("ladder not descending: %+v", res.Rows)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "reduce6") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunTransposeAnalysis(t *testing.T) {
+	res, err := RunTransposeAnalysis(1, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unpadded tile variant must expose its conflict counter.
+	if !res.Analysis.Frame.Has("shared_replay_overhead") {
+		t.Fatal("transpose1 frame lacks the bank-conflict signal")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHistogramAnalysis(t *testing.T) {
+	res, err := RunHistogramAnalysis(0, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Analysis.Frame.Has("atomic_replay_overhead") {
+		t.Fatal("histogram frame lacks the atomic-contention signal")
+	}
+	// With the skew knob varied, the contention counter must carry real
+	// importance (top half of the ranking).
+	rank := -1
+	for i, imp := range res.Analysis.Importance {
+		if imp.Name == "atomic_replay_overhead" || imp.Name == "atom_count" {
+			rank = i
+			break
+		}
+	}
+	if rank < 0 || rank > len(res.Analysis.Importance)/2 {
+		t.Fatalf("atomic counters rank %d of %d", rank, len(res.Analysis.Importance))
+	}
+}

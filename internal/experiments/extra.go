@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"blackforest/internal/core"
+	"blackforest/internal/gpusim"
+	"blackforest/internal/kernels"
+	"blackforest/internal/profiler"
+	"blackforest/internal/report"
+)
+
+// LadderRow is one kernel variant's measurements in the reduction ladder.
+type LadderRow struct {
+	Kernel      string
+	TimeMS      float64
+	BandwidthGB float64 // dram read throughput
+	Bottleneck  string
+	ReplayOvh   float64
+	Divergent   float64
+}
+
+// ReductionLadder reproduces the CUDA SDK reduction whitepaper's summary
+// table — time and achieved bandwidth per optimization step — as measured
+// by the profiler. The paper's §5 narrative ("each implementing a specific
+// optimization technique addressing specific performance bottlenecks")
+// is this table's story.
+type ReductionLadder struct {
+	Device string
+	N      int
+	Rows   []LadderRow
+}
+
+// RunReductionLadder measures all seven variants at one size.
+func RunReductionLadder(o Options) (*ReductionLadder, error) {
+	dev, err := gpusim.LookupDevice(trainDevice)
+	if err != nil {
+		return nil, err
+	}
+	n := 1 << 22
+	if o.Scale == Quick {
+		n = 1 << 18
+	}
+	p := profiler.New(dev, profiler.Options{MaxSimBlocks: o.maxSimBlocks(), NoiseSigma: -1})
+	out := &ReductionLadder{Device: dev.Name, N: n}
+	for v := 0; v <= 6; v++ {
+		prof, err := p.Run(&kernels.Reduction{Variant: v, N: n, BlockSize: 256, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, LadderRow{
+			Kernel:      prof.Workload,
+			TimeMS:      prof.TimeMS,
+			BandwidthGB: prof.Metrics["dram_read_throughput"],
+			Bottleneck:  prof.DominantBottleneck(),
+			ReplayOvh:   prof.Metrics["inst_replay_overhead"],
+			Divergent:   prof.Metrics["divergent_branch"],
+		})
+	}
+	return out, nil
+}
+
+// Render writes the ladder table.
+func (r *ReductionLadder) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== reduction optimization ladder on %s (n = %d) ==\n", r.Device, r.N)
+	rows := make([][]string, 0, len(r.Rows))
+	for i, row := range r.Rows {
+		speedup := r.Rows[0].TimeMS / row.TimeMS
+		rows = append(rows, []string{
+			row.Kernel,
+			fmt.Sprintf("%.4f", row.TimeMS),
+			fmt.Sprintf("%.1f", row.BandwidthGB),
+			fmt.Sprintf("%.2fx", speedup),
+			row.Bottleneck,
+			fmt.Sprintf("%.3f", row.ReplayOvh),
+			fmt.Sprintf("%.0f", row.Divergent),
+		})
+		_ = i
+	}
+	return report.Table(w, []string{"kernel", "time(ms)", "BW(GB/s)", "speedup", "bound", "replay_ovh", "divergent"}, rows)
+}
+
+// runBottleneckAnalysis runs the §5-style pipeline on any workload sweep.
+func runBottleneckAnalysis(runs []profiler.Workload, o Options) (*core.Analysis, []core.Bottleneck, error) {
+	dev, err := gpusim.LookupDevice(trainDevice)
+	if err != nil {
+		return nil, nil, err
+	}
+	frame, err := core.Collect(dev, runs, core.CollectOptions{
+		MaxSimBlocks: o.maxSimBlocks(),
+		Seed:         o.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := core.Analyze(frame, o.pipelineConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	bns, err := a.Bottlenecks(8)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, bns, nil
+}
+
+// WorkloadAnalysis is a generic bottleneck-analysis result for the extra
+// (beyond-paper) workloads.
+type WorkloadAnalysis struct {
+	Workload    string
+	Analysis    *core.Analysis
+	Bottlenecks []core.Bottleneck
+}
+
+// RunTransposeAnalysis applies BlackForest to one transpose variant over a
+// size sweep.
+func RunTransposeAnalysis(variant int, o Options) (*WorkloadAnalysis, error) {
+	sizes := []int{64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048}
+	if o.Scale == Quick {
+		sizes = []int{64, 128, 256, 384, 512}
+	}
+	var runs []profiler.Workload
+	seed := o.Seed
+	for r := 0; r < 3; r++ {
+		for _, n := range sizes {
+			seed++
+			runs = append(runs, &kernels.Transpose{Variant: variant, N: n, Seed: seed})
+		}
+	}
+	a, bns, err := runBottleneckAnalysis(runs, o)
+	if err != nil {
+		return nil, err
+	}
+	return &WorkloadAnalysis{Workload: fmt.Sprintf("transpose%d", variant), Analysis: a, Bottlenecks: bns}, nil
+}
+
+// RunHistogramAnalysis applies BlackForest to one histogram variant over a
+// joint (size, skew) sweep — the contention knob makes the atomic counters
+// informative predictors.
+func RunHistogramAnalysis(variant int, o Options) (*WorkloadAnalysis, error) {
+	sizes := []int{1 << 16, 1 << 18, 1 << 20, 1 << 21}
+	skews := []float64{0, 0.25, 0.5, 0.75, 0.9, 0.97}
+	if o.Scale == Quick {
+		sizes = []int{1 << 14, 1 << 16, 1 << 18}
+		skews = []float64{0, 0.25, 0.5, 0.75, 0.9}
+	}
+	var runs []profiler.Workload
+	seed := o.Seed
+	for _, n := range sizes {
+		for _, sk := range skews {
+			seed++
+			runs = append(runs, &kernels.Histogram{Variant: variant, N: n, Skew: sk, Seed: seed})
+		}
+	}
+	a, bns, err := runBottleneckAnalysis(runs, o)
+	if err != nil {
+		return nil, err
+	}
+	return &WorkloadAnalysis{Workload: fmt.Sprintf("histogram%d", variant), Analysis: a, Bottlenecks: bns}, nil
+}
+
+// Render writes the generic analysis report.
+func (r *WorkloadAnalysis) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== %s bottleneck analysis (%d runs, %%var explained %.1f%%) ==\n\n",
+		r.Workload, r.Analysis.Frame.NumRows(), 100*r.Analysis.VarExplained)
+	labels := make([]string, 0, 10)
+	values := make([]float64, 0, 10)
+	for i, imp := range r.Analysis.Importance {
+		if i >= 10 {
+			break
+		}
+		labels = append(labels, imp.Name)
+		values = append(values, imp.PctIncMSE)
+	}
+	if err := report.BarChart(w, "variable importance (%IncMSE)", labels, values, 40); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\ndiagnosis:")
+	rows := make([][]string, 0, len(r.Bottlenecks))
+	for _, b := range r.Bottlenecks {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", b.Rank), b.Counter, b.Direction.String(), b.Pattern,
+		})
+	}
+	return report.Table(w, []string{"rank", "counter", "dir", "pattern"}, rows)
+}

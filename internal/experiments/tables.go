@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"blackforest/internal/counters"
+	"blackforest/internal/gpusim"
+	"blackforest/internal/report"
+)
+
+// RenderTable1 reproduces the paper's Table 1: the performance counters
+// used in the study with their meanings, annotated with per-architecture
+// availability (the §7 counter-evolution issue).
+func RenderTable1(w io.Writer) error {
+	fmt.Fprintln(w, "== Table 1: performance counters used in this study ==")
+	var rows [][]string
+	for _, m := range counters.All() {
+		kind := "event"
+		if m.Derived {
+			kind = "metric"
+		}
+		arch := ""
+		switch {
+		case m.OnFermi && m.OnKepler:
+			arch = "Fermi+Kepler"
+		case m.OnFermi:
+			arch = "Fermi"
+		case m.OnKepler:
+			arch = "Kepler"
+		}
+		rows = append(rows, []string{m.Name, kind, arch, m.Description})
+	}
+	return report.Table(w, []string{"counter", "kind", "arch", "meaning"}, rows)
+}
+
+// RenderTable2 reproduces Table 2: the GPU hardware metrics injected for
+// hardware scaling, for every modeled device.
+func RenderTable2(w io.Writer) error {
+	fmt.Fprintln(w, "== Table 2: GPU hardware metrics ==")
+	names := gpusim.DeviceNames()
+	headers := append([]string{"metric", "meaning"}, names...)
+	meanings := map[string]string{
+		"wsched": "number of warp schedulers",
+		"freq":   "clock rate (GHz)",
+		"smp":    "number of MPs",
+		"rco":    "cores per MP",
+		"mbw":    "memory bandwidth (GB/s)",
+		"l1c":    "registers per thread",
+		"l2c":    "L2 size (KB)",
+	}
+	var rows [][]string
+	for _, metric := range gpusim.HardwareMetricNames() {
+		row := []string{metric, meanings[metric]}
+		for _, dn := range names {
+			dev, err := gpusim.LookupDevice(dn)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%g", dev.HardwareMetrics()[metric]))
+		}
+		rows = append(rows, row)
+	}
+	return report.Table(w, headers, rows)
+}

@@ -1,0 +1,95 @@
+package forest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"blackforest/internal/rtree"
+)
+
+// savedForest is the on-disk form of a fitted forest: the trees and the
+// training-derived statistics, but not the training data itself. A loaded
+// forest predicts and reports importance; partial dependence (which needs
+// the training distribution) is unavailable and returns an error.
+type savedForest struct {
+	Version  int                   `json:"version"`
+	Names    []string              `json:"names"`
+	Trees    []*rtree.ExportedTree `json:"trees"`
+	OOBMSE   float64               `json:"oob_mse"`
+	VarExpl  float64               `json:"var_explained"`
+	RawImp   []float64             `json:"importance"`
+	ImpSE    []float64             `json:"importance_se"`
+	Purity   []float64             `json:"purity"`
+	MinResp  float64               `json:"min_response"`
+	MaxResp  float64               `json:"max_response"`
+	NSamples int                   `json:"training_samples"`
+}
+
+const saveVersion = 1
+
+// Save writes the forest as JSON.
+func (f *Forest) Save(w io.Writer) error {
+	s := savedForest{
+		Version:  saveVersion,
+		Names:    f.names,
+		Trees:    make([]*rtree.ExportedTree, len(f.trees)),
+		OOBMSE:   f.oobMSE,
+		VarExpl:  f.varExpl,
+		RawImp:   f.rawImp,
+		ImpSE:    f.impSE,
+		Purity:   f.purity,
+		MinResp:  f.minResp,
+		MaxResp:  f.maxResp,
+		NSamples: f.nSamples,
+	}
+	for i, t := range f.trees {
+		s.Trees[i] = t.Export()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&s)
+}
+
+// Load reads a forest saved with Save. The result predicts and reports
+// importance exactly as the original; methods needing the training data
+// (PartialDependence, OOBPredictions) report that it is absent.
+func Load(r io.Reader) (*Forest, error) {
+	var s savedForest
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("forest: decoding saved model: %w", err)
+	}
+	if s.Version != saveVersion {
+		return nil, fmt.Errorf("forest: unsupported model version %d", s.Version)
+	}
+	if len(s.Trees) == 0 {
+		return nil, errors.New("forest: saved model has no trees")
+	}
+	p := len(s.Names)
+	if p == 0 || len(s.RawImp) != p || len(s.ImpSE) != p || len(s.Purity) != p {
+		return nil, errors.New("forest: saved model has inconsistent predictor metadata")
+	}
+	f := &Forest{
+		trees:    make([]*rtree.Tree, len(s.Trees)),
+		names:    s.Names,
+		oobMSE:   s.OOBMSE,
+		varExpl:  s.VarExpl,
+		rawImp:   s.RawImp,
+		impSE:    s.ImpSE,
+		purity:   s.Purity,
+		minResp:  s.MinResp,
+		maxResp:  s.MaxResp,
+		nSamples: 0, // training data not persisted
+	}
+	for i, et := range s.Trees {
+		t, err := rtree.Import(et)
+		if err != nil {
+			return nil, fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+		if t.NumFeatures() != p {
+			return nil, fmt.Errorf("forest: tree %d has %d features, model has %d", i, t.NumFeatures(), p)
+		}
+		f.trees[i] = t
+	}
+	return f, nil
+}

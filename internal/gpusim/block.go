@@ -1,0 +1,84 @@
+package gpusim
+
+import "fmt"
+
+// Block executes one thread block: it owns the block's counter accumulator
+// and L1 view and schedules the block's warps cooperatively. Warps run one
+// at a time, yielding at barriers, which makes execution deterministic and
+// lets instruction accounting go lock-free — the SIMT analogue of
+// communicating by channels rather than sharing memory.
+type Block struct {
+	dev  *Device
+	cfg  LaunchConfig
+	idxX int
+	idxY int
+
+	counters *Counters
+	l1       *cache
+	l2       *cache
+
+	// state holds kernel-managed per-block data (the functional contents
+	// of shared memory). Warps of a block execute one at a time, so no
+	// locking is needed.
+	state map[string]any
+
+	// segScratch is reused by the coalescer to avoid per-instruction
+	// allocation (a warp access touches at most 64 segments).
+	segScratch [64]uint64
+	// banks is the shared-memory conflict detector's working storage.
+	banks bankScratch
+}
+
+// KernelFunc is the body of a kernel, invoked once per warp.
+type KernelFunc func(w *Warp)
+
+// run executes the kernel for every warp of the block. It returns an error
+// if any warp panicked (kernel bugs surface as errors, not hangs).
+func (b *Block) run(kernel KernelFunc) (err error) {
+	n := b.cfg.WarpsPerBlock()
+	warps := make([]*Warp, n)
+	panics := make([]any, n)
+	for i := 0; i < n; i++ {
+		warps[i] = &Warp{
+			blk:    b,
+			id:     i,
+			resume: make(chan struct{}),
+			event:  make(chan warpEvent),
+		}
+	}
+	for i, w := range warps {
+		go func(i int, w *Warp) {
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+				// Signal completion even after a panic so the
+				// scheduler never deadlocks.
+				w.event <- evDone
+			}()
+			<-w.resume
+			kernel(w)
+		}(i, w)
+	}
+
+	// Round-robin the warps: each scheduling round runs every live warp
+	// exclusively until its next barrier (or completion). This realizes
+	// CUDA barrier semantics: no warp passes barrier k until all do.
+	active := warps
+	for len(active) > 0 {
+		next := active[:0]
+		for _, w := range active {
+			w.resume <- struct{}{}
+			if <-w.event == evBarrier {
+				next = append(next, w)
+			}
+		}
+		active = next
+	}
+	for i, p := range panics {
+		if p != nil {
+			return fmt.Errorf("gpusim: kernel panic in block (%d,%d) warp %d: %v", b.idxX, b.idxY, i, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Package gpusim is BlackForest's GPU substrate: a warp-level SIMT
+// simulator with Fermi- and Kepler-class device models. It stands in for
+// the NVIDIA hardware + CUPTI stack the paper profiles with nvprof.
+//
+// Kernels are written in an explicit-SIMT style (per-warp lane vectors,
+// explicit active masks, explicit barriers) against the Warp API. The
+// simulator executes them functionally — kernels compute real results on
+// ordinary Go slices — while a mechanistic machine model accounts for the
+// events behind every performance counter the paper uses: memory-coalescing
+// transactions, L1/L2 cache hits and misses, shared-memory bank conflicts
+// and their replays, branch divergence, instruction issue, occupancy, and a
+// bottleneck-based execution-time estimate.
+//
+// The relationships the paper's random forest learns (replays inflate time,
+// transactions consume bandwidth, occupancy hides latency) therefore emerge
+// from the machine model rather than being painted onto the data.
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arch is a GPU microarchitecture family.
+type Arch int
+
+const (
+	// Fermi (compute capability 2.0): global loads cached in L1,
+	// 128-byte L1 lines, 16 two-cycle shared-memory banks (modeled as 32),
+	// counter set includes l1_shared_bank_conflict.
+	Fermi Arch = iota
+	// Kepler (compute capability 3.5): global loads bypass L1 (L2 only,
+	// 32-byte segments), 32 shared banks, counter set includes
+	// shared_load_replay / shared_store_replay instead of the Fermi
+	// bank-conflict counter.
+	Kepler
+)
+
+// String returns the architecture name.
+func (a Arch) String() string {
+	switch a {
+	case Fermi:
+		return "Fermi"
+	case Kepler:
+		return "Kepler"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// WarpSize is the number of threads per warp on every modeled device.
+const WarpSize = 32
+
+// Device describes one GPU model. Fields marked (Table 2) appear in the
+// paper's hardware-metrics table.
+type Device struct {
+	Name              string
+	Arch              Arch
+	ComputeCapability string
+
+	SMs            int     // number of streaming multiprocessors (Table 2: smp)
+	CoresPerSM     int     // CUDA cores per SM (Table 2: rco)
+	WarpSchedulers int     // warp schedulers per SM (Table 2: wsched)
+	ClockGHz       float64 // core clock (Table 2: freq)
+
+	MemBandwidthGBps float64 // peak DRAM bandwidth (Table 2: mbw)
+	MaxRegsPerThread int     // max registers per thread (Table 2: l1c)
+	L2SizeKB         int     // L2 cache size (Table 2: l2c)
+
+	L1SizeKB         int // per-SM L1 size (global-load caching on Fermi)
+	SharedMemPerSMKB int
+	SharedBanks      int
+	LdStUnitsPerSM   int // load/store units per SM (16 Fermi, 32 Kepler)
+	RegFilePerSM     int // 32-bit registers per SM
+	MaxWarpsPerSM    int
+	MaxBlocksPerSM   int
+	MaxThreadsPerBlk int
+
+	// Latencies in core cycles.
+	L1LatencyCycles   int
+	L2LatencyCycles   int
+	DRAMLatencyCycles int
+
+	// GlobalLoadsUseL1 is true on Fermi; Kepler serves global loads from
+	// L2 (32-byte transactions) only.
+	GlobalLoadsUseL1 bool
+
+	// LaunchOverheadUS is the fixed per-kernel-launch cost in
+	// microseconds, visible in multi-launch workloads like the SDK
+	// reduction driver.
+	LaunchOverheadUS float64
+
+	// Power model (§7 extension: power as the response variable).
+	// IdleWatts is the board's baseline draw while a kernel is resident;
+	// EnergyScale scales the per-event energies below (process-node
+	// efficiency: Kepler's 28 nm spends less per op than Fermi's 40 nm);
+	// TDPWatts caps the modeled average power.
+	IdleWatts   float64
+	EnergyScale float64
+	TDPWatts    float64
+}
+
+// Per-event dynamic energies in nanojoules, before EnergyScale. The
+// magnitudes follow the usual architecture-literature ballpark: DRAM
+// traffic dominates, on-chip SRAM is an order of magnitude cheaper, and
+// arithmetic cheaper still.
+const (
+	energyDRAMPerByteNJ  = 0.35 // per DRAM byte moved
+	energyL2Per32BNJ     = 1.0  // per 32-byte L2 transaction
+	energyL1Per128BNJ    = 1.2  // per 128-byte L1 access
+	energyALUPerOpNJ     = 0.02 // per thread-level arithmetic op
+	energySharedPerOpNJ  = 0.01 // per thread-level shared access
+	energyIssuePerWarpNJ = 0.08 // fetch/decode/schedule per warp instruction
+)
+
+// devices is the built-in registry.
+var devices = map[string]*Device{
+	"GTX480": {
+		Name: "GTX480", Arch: Fermi, ComputeCapability: "2.0",
+		SMs: 15, CoresPerSM: 32, WarpSchedulers: 2, ClockGHz: 1.4,
+		MemBandwidthGBps: 177.4, MaxRegsPerThread: 63, L2SizeKB: 768,
+		L1SizeKB: 16, SharedMemPerSMKB: 48, SharedBanks: 32, LdStUnitsPerSM: 16,
+		RegFilePerSM: 32768, MaxWarpsPerSM: 48, MaxBlocksPerSM: 8,
+		MaxThreadsPerBlk: 1024,
+		L1LatencyCycles:  28, L2LatencyCycles: 240, DRAMLatencyCycles: 500,
+		GlobalLoadsUseL1: true, LaunchOverheadUS: 5,
+		IdleWatts: 55, EnergyScale: 1.0, TDPWatts: 250,
+	},
+	"GTX580": {
+		Name: "GTX580", Arch: Fermi, ComputeCapability: "2.0",
+		SMs: 16, CoresPerSM: 32, WarpSchedulers: 2, ClockGHz: 1.544,
+		MemBandwidthGBps: 192.4, MaxRegsPerThread: 63, L2SizeKB: 768,
+		L1SizeKB: 16, SharedMemPerSMKB: 48, SharedBanks: 32, LdStUnitsPerSM: 16,
+		RegFilePerSM: 32768, MaxWarpsPerSM: 48, MaxBlocksPerSM: 8,
+		MaxThreadsPerBlk: 1024,
+		L1LatencyCycles:  28, L2LatencyCycles: 240, DRAMLatencyCycles: 500,
+		GlobalLoadsUseL1: true, LaunchOverheadUS: 5,
+		IdleWatts: 60, EnergyScale: 1.0, TDPWatts: 244,
+	},
+	"K20m": {
+		Name: "K20m", Arch: Kepler, ComputeCapability: "3.5",
+		SMs: 13, CoresPerSM: 192, WarpSchedulers: 4, ClockGHz: 0.706,
+		MemBandwidthGBps: 208, MaxRegsPerThread: 255, L2SizeKB: 1280,
+		L1SizeKB: 16, SharedMemPerSMKB: 48, SharedBanks: 32, LdStUnitsPerSM: 32,
+		RegFilePerSM: 65536, MaxWarpsPerSM: 64, MaxBlocksPerSM: 16,
+		MaxThreadsPerBlk: 1024,
+		L1LatencyCycles:  32, L2LatencyCycles: 230, DRAMLatencyCycles: 440,
+		GlobalLoadsUseL1: false, LaunchOverheadUS: 4,
+		IdleWatts: 45, EnergyScale: 0.55, TDPWatts: 225,
+	},
+}
+
+// LookupDevice returns the named device model, or an error listing the
+// available names.
+func LookupDevice(name string) (*Device, error) {
+	d, ok := devices[name]
+	if !ok {
+		return nil, fmt.Errorf("gpusim: unknown device %q (available: %v)", name, DeviceNames())
+	}
+	// Return a copy so callers cannot mutate the registry.
+	c := *d
+	return &c, nil
+}
+
+// DeviceNames returns the registered device names, sorted.
+func DeviceNames() []string {
+	names := make([]string, 0, len(devices))
+	for n := range devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PeakWarpIssuePerCycle returns how many warp instructions an SM can issue
+// per cycle (one per scheduler).
+func (d *Device) PeakWarpIssuePerCycle() float64 {
+	return float64(d.WarpSchedulers)
+}
+
+// BytesPerCycle returns device-wide DRAM bytes deliverable per core cycle.
+func (d *Device) BytesPerCycle() float64 {
+	return d.MemBandwidthGBps / d.ClockGHz
+}
+
+// HardwareMetrics returns the machine-characteristic variables injected
+// into the training data for hardware scaling (§6.2, Table 2), keyed by the
+// short names the paper uses.
+func (d *Device) HardwareMetrics() map[string]float64 {
+	return map[string]float64{
+		"wsched": float64(d.WarpSchedulers),
+		"freq":   d.ClockGHz,
+		"smp":    float64(d.SMs),
+		"rco":    float64(d.CoresPerSM),
+		"mbw":    d.MemBandwidthGBps,
+		"l1c":    float64(d.MaxRegsPerThread),
+		"l2c":    float64(d.L2SizeKB),
+	}
+}
+
+// HardwareMetricNames lists the Table 2 metric names in display order.
+func HardwareMetricNames() []string {
+	return []string{"wsched", "freq", "smp", "rco", "mbw", "l1c", "l2c"}
+}

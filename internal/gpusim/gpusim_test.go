@@ -1,0 +1,290 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func gtx580(t *testing.T) *Device {
+	t.Helper()
+	d, err := LookupDevice("GTX580")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func k20m(t *testing.T) *Device {
+	t.Helper()
+	d, err := LookupDevice("K20m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLookupDevice(t *testing.T) {
+	d := gtx580(t)
+	if d.Arch != Fermi || d.SMs != 16 {
+		t.Fatalf("GTX580 model wrong: %+v", d)
+	}
+	k := k20m(t)
+	if k.Arch != Kepler || k.CoresPerSM != 192 {
+		t.Fatalf("K20m model wrong: %+v", k)
+	}
+	if _, err := LookupDevice("RTX9090"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if !strings.Contains(Fermi.String(), "Fermi") || !strings.Contains(Kepler.String(), "Kepler") {
+		t.Fatal("arch names wrong")
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	a, _ := LookupDevice("GTX580")
+	a.SMs = 1
+	b, _ := LookupDevice("GTX580")
+	if b.SMs != 16 {
+		t.Fatal("registry mutated through returned device")
+	}
+}
+
+func TestHardwareMetricsTable2(t *testing.T) {
+	// The paper's Table 2 values for GTX480 and K20m.
+	gtx480, err := LookupDevice("GTX480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := gtx480.HardwareMetrics()
+	want := map[string]float64{"wsched": 2, "freq": 1.4, "smp": 15, "rco": 32, "mbw": 177.4, "l1c": 63, "l2c": 768}
+	for k, v := range want {
+		if m[k] != v {
+			t.Fatalf("GTX480 %s = %v, want %v", k, m[k], v)
+		}
+	}
+	km := k20m(t).HardwareMetrics()
+	wantK := map[string]float64{"wsched": 4, "smp": 13, "rco": 192, "mbw": 208, "l1c": 255, "l2c": 1280}
+	for k, v := range wantK {
+		if km[k] != v {
+			t.Fatalf("K20m %s = %v, want %v", k, km[k], v)
+		}
+	}
+	if len(HardwareMetricNames()) != 7 {
+		t.Fatal("Table 2 has 7 metrics")
+	}
+}
+
+func TestOccupancyFullBlocks(t *testing.T) {
+	d := gtx580(t)
+	// 256-thread blocks, tiny footprint: warp-limited at 48/8 = 6 blocks.
+	occ, err := ComputeOccupancy(d, LaunchConfig{
+		GridDimX: 1024, GridDimY: 1, BlockDimX: 256, BlockDimY: 1,
+		RegsPerThread: 10, SharedMemPerBlock: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 6 || occ.LimitedBy != "warps" {
+		t.Fatalf("occupancy %+v", occ)
+	}
+	if occ.Theoretical != 1.0 {
+		t.Fatalf("theoretical occupancy %v, want 1", occ.Theoretical)
+	}
+}
+
+func TestOccupancySharedLimited(t *testing.T) {
+	d := gtx580(t)
+	occ, err := ComputeOccupancy(d, LaunchConfig{
+		GridDimX: 100, GridDimY: 1, BlockDimX: 128, BlockDimY: 1,
+		RegsPerThread: 10, SharedMemPerBlock: 24 * 1024, // 2 blocks fill 48 KB
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 2 || occ.LimitedBy != "shared" {
+		t.Fatalf("occupancy %+v", occ)
+	}
+}
+
+func TestOccupancyRegisterLimited(t *testing.T) {
+	d := gtx580(t)
+	occ, err := ComputeOccupancy(d, LaunchConfig{
+		GridDimX: 100, GridDimY: 1, BlockDimX: 256, BlockDimY: 1,
+		RegsPerThread: 63, SharedMemPerBlock: 256, // 63·256 ≈ 16k regs/block of 32k
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.LimitedBy != "registers" {
+		t.Fatalf("limited by %s", occ.LimitedBy)
+	}
+}
+
+func TestOccupancyTinyBlocks(t *testing.T) {
+	// 16-thread NW blocks are block-slot limited: 8 blocks × 1 warp = 8/48.
+	d := gtx580(t)
+	occ, err := ComputeOccupancy(d, LaunchConfig{
+		GridDimX: 64, GridDimY: 1, BlockDimX: 16, BlockDimY: 1,
+		RegsPerThread: 24, SharedMemPerBlock: 2 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.LimitedBy != "blocks" || occ.BlocksPerSM != 8 {
+		t.Fatalf("occupancy %+v", occ)
+	}
+	if occ.Theoretical > 0.2 {
+		t.Fatalf("tiny blocks should yield low occupancy, got %v", occ.Theoretical)
+	}
+}
+
+func TestOccupancyValidation(t *testing.T) {
+	d := gtx580(t)
+	cases := []LaunchConfig{
+		{GridDimX: 0, GridDimY: 1, BlockDimX: 32, BlockDimY: 1},
+		{GridDimX: 1, GridDimY: 1, BlockDimX: 2048, BlockDimY: 1, RegsPerThread: 10},
+		{GridDimX: 1, GridDimY: 1, BlockDimX: 32, BlockDimY: 1, SharedMemPerBlock: 1 << 20},
+		{GridDimX: 1, GridDimY: 1, BlockDimX: 32, BlockDimY: 1, RegsPerThread: 500},
+	}
+	for i, lc := range cases {
+		if _, err := ComputeOccupancy(d, lc); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, lc)
+		}
+	}
+}
+
+// Property: achieved occupancy is in (0, 1] for any valid launch.
+func TestAchievedOccupancyRange(t *testing.T) {
+	d := gtx580(t)
+	f := func(blocks16 uint16, logThreads uint8) bool {
+		blocks := int(blocks16)%4096 + 1
+		threads := 32 << (logThreads % 6) // 32..1024
+		lc := LaunchConfig{
+			GridDimX: blocks, GridDimY: 1, BlockDimX: threads, BlockDimY: 1,
+			RegsPerThread: 16, SharedMemPerBlock: 512,
+		}
+		occ, err := ComputeOccupancy(d, lc)
+		if err != nil {
+			return false
+		}
+		a := AchievedOccupancy(d, lc, occ)
+		return a > 0 && a <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskOps(t *testing.T) {
+	if FullMask().Count() != 32 {
+		t.Fatal("full mask count")
+	}
+	if MaskFirstN(5).Count() != 5 || MaskFirstN(0) != 0 || MaskFirstN(99) != FullMask() {
+		t.Fatal("MaskFirstN wrong")
+	}
+	m := MaskWhere(func(l int) bool { return l%2 == 0 })
+	if m.Count() != 16 || !m.Active(0) || m.Active(1) {
+		t.Fatal("MaskWhere wrong")
+	}
+}
+
+func TestCoalesceSequential(t *testing.T) {
+	// 32 consecutive 4-byte words = 128 bytes = one 128-byte line.
+	var addrs [WarpSize]uint64
+	for l := range addrs {
+		addrs[l] = 0x1000 + uint64(4*l)
+	}
+	segs := coalesce(nil, FullMask(), &addrs, 4, 128)
+	if len(segs) != 1 {
+		t.Fatalf("sequential access touches %d lines, want 1", len(segs))
+	}
+	if got := coalesce(nil, FullMask(), &addrs, 4, 32); len(got) != 4 {
+		t.Fatalf("sequential access touches %d 32B segments, want 4", len(got))
+	}
+}
+
+func TestCoalesceStrided(t *testing.T) {
+	// Stride of 128 bytes: every lane in its own line.
+	var addrs [WarpSize]uint64
+	for l := range addrs {
+		addrs[l] = uint64(128 * l)
+	}
+	if got := coalesce(nil, FullMask(), &addrs, 4, 128); len(got) != 32 {
+		t.Fatalf("strided access coalesced to %d lines", len(got))
+	}
+}
+
+func TestCoalesceMaskAndStraddle(t *testing.T) {
+	var addrs [WarpSize]uint64
+	addrs[0] = 126 // 4-byte access straddling a 128-byte boundary
+	segs := coalesce(nil, MaskFirstN(1), &addrs, 4, 128)
+	if len(segs) != 2 {
+		t.Fatalf("straddling access counted %d lines, want 2", len(segs))
+	}
+	if got := coalesce(nil, 0, &addrs, 4, 128); len(got) != 0 {
+		t.Fatal("empty mask produced segments")
+	}
+}
+
+func TestBankConflicts(t *testing.T) {
+	// Sequential words: conflict-free.
+	var offs [WarpSize]uint32
+	for l := range offs {
+		offs[l] = uint32(4 * l)
+	}
+	if d := bankConflictDegree(new(bankScratch), FullMask(), &offs, 32); d != 1 {
+		t.Fatalf("sequential degree %d", d)
+	}
+	// Stride 2 words: 2-way conflicts (reduce1's pattern).
+	for l := range offs {
+		offs[l] = uint32(8 * l)
+	}
+	if d := bankConflictDegree(new(bankScratch), FullMask(), &offs, 32); d != 2 {
+		t.Fatalf("stride-2 degree %d", d)
+	}
+	// Broadcast: all lanes read the same word — no conflict.
+	for l := range offs {
+		offs[l] = 64
+	}
+	if d := bankConflictDegree(new(bankScratch), FullMask(), &offs, 32); d != 1 {
+		t.Fatalf("broadcast degree %d", d)
+	}
+	// Same bank, all different words: fully serialized.
+	for l := range offs {
+		offs[l] = uint32(128 * l) // word = 32·l → all bank 0
+	}
+	if d := bankConflictDegree(new(bankScratch), FullMask(), &offs, 32); d != 32 {
+		t.Fatalf("pathological degree %d", d)
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := newCache(1024, 128, 2) // 4 sets × 2 ways
+	if c.access(0) {
+		t.Fatal("cold miss reported as hit")
+	}
+	if !c.access(0) {
+		t.Fatal("immediate re-access missed")
+	}
+	// Fill set 0 (lines 0, 4, 8 all map there): after touching 0 then
+	// 512, line 0 is LRU; inserting 1024 must evict it and keep 512.
+	c.access(0)
+	c.access(512)
+	c.access(1024)
+	if !c.access(512) {
+		t.Fatal("MRU-side line evicted")
+	}
+	if c.access(0) {
+		t.Fatal("LRU line not evicted")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := newCache(1024, 128, 2)
+	c.access(0)
+	c.reset()
+	if c.access(0) {
+		t.Fatal("cache not cleared by reset")
+	}
+}

@@ -1,0 +1,143 @@
+package gpusim
+
+// This file models the memory subsystem: set-associative LRU caches and
+// the warp-level access coalescer. Together they produce the transaction
+// and hit/miss events behind the paper's memory counters.
+
+// cache is a set-associative cache with LRU replacement, tracking only tags
+// (the simulator moves no data — kernels compute on ordinary Go memory).
+type cache struct {
+	sets     [][]uint64 // per set, tags in MRU-first order
+	ways     int
+	lineSize uint64
+	numSets  uint64
+	accesses uint64
+	misses   uint64
+}
+
+// newCache builds a cache of the given total size, line size, and
+// associativity. Sizes that do not divide evenly are rounded down to at
+// least one set.
+func newCache(sizeBytes, lineSize, ways int) *cache {
+	numSets := sizeBytes / (lineSize * ways)
+	if numSets < 1 {
+		numSets = 1
+	}
+	c := &cache{
+		sets:     make([][]uint64, numSets),
+		ways:     ways,
+		lineSize: uint64(lineSize),
+		numSets:  uint64(numSets),
+	}
+	return c
+}
+
+// access looks up the line containing addr, inserting it on a miss.
+// It reports whether the access hit.
+func (c *cache) access(addr uint64) bool {
+	c.accesses++
+	line := addr / c.lineSize
+	set := line % c.numSets
+	ways := c.sets[set]
+	for i, tag := range ways {
+		if tag == line {
+			// Move to MRU position.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return true
+		}
+	}
+	c.misses++
+	if len(ways) < c.ways {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = line
+	c.sets[set] = ways
+	return false
+}
+
+// reset clears all cache contents and statistics.
+func (c *cache) reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.accesses, c.misses = 0, 0
+}
+
+// coalesce appends the unique aligned segments of the given size touched
+// by the active lanes' byte addresses to buf (reused by the caller to avoid
+// allocation) and returns it. It is the heart of the memory-access-pattern
+// counters: a fully coalesced warp access to 4-byte words touches
+// ⌈32·4/segment⌉ segments; a strided or scattered access touches up to 32.
+func coalesce(buf []uint64, mask Mask, addrs *[WarpSize]uint64, accessBytes uint32, segment uint64) []uint64 {
+	segs := buf[:0]
+	for lane := 0; lane < WarpSize; lane++ {
+		if !mask.Active(lane) {
+			continue
+		}
+		first := addrs[lane] / segment
+		last := (addrs[lane] + uint64(accessBytes) - 1) / segment
+		for s := first; s <= last; s++ {
+			found := false
+			for _, x := range segs {
+				if x == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				segs = append(segs, s)
+			}
+		}
+	}
+	for i := range segs {
+		segs[i] *= segment
+	}
+	return segs
+}
+
+// bankConflictDegree returns the maximum number of distinct 4-byte words
+// mapped to the same shared-memory bank among active lanes — the number of
+// serialized passes the access needs. Lanes reading the same word broadcast
+// and do not conflict. degree 1 means conflict-free.
+// bankScratch is reusable working storage for bankConflictDegree, kept on
+// the Block so the per-bank word lists need no zeroing per instruction
+// (only the 64-byte count array is reset).
+type bankScratch struct {
+	words  [64][WarpSize]uint32
+	counts [64]uint8
+}
+
+func bankConflictDegree(s *bankScratch, mask Mask, offsets *[WarpSize]uint32, banks int) int {
+	if banks <= 0 || banks > 64 {
+		return 1
+	}
+	// Distinct words per bank; duplicates (broadcasts) are detected by
+	// scanning only the words already filed under the same bank.
+	s.counts = [64]uint8{}
+	degree := 1
+	for lane := 0; lane < WarpSize; lane++ {
+		if !mask.Active(lane) {
+			continue
+		}
+		word := offsets[lane] / 4
+		bank := word % uint32(banks)
+		dup := false
+		for i := uint8(0); i < s.counts[bank]; i++ {
+			if s.words[bank][i] == word {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		s.words[bank][s.counts[bank]] = word
+		s.counts[bank]++
+		if int(s.counts[bank]) > degree {
+			degree = int(s.counts[bank])
+		}
+	}
+	return degree
+}

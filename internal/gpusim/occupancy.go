@@ -1,0 +1,147 @@
+package gpusim
+
+import "fmt"
+
+// LaunchConfig describes one kernel launch: grid and block geometry plus
+// the per-thread register and per-block shared-memory footprints that
+// constrain occupancy.
+type LaunchConfig struct {
+	GridDimX, GridDimY   int
+	BlockDimX, BlockDimY int
+	RegsPerThread        int
+	SharedMemPerBlock    int // bytes
+}
+
+// Blocks returns the total number of thread blocks in the grid.
+func (lc LaunchConfig) Blocks() int { return lc.GridDimX * lc.GridDimY }
+
+// ThreadsPerBlock returns the block size in threads.
+func (lc LaunchConfig) ThreadsPerBlock() int { return lc.BlockDimX * lc.BlockDimY }
+
+// WarpsPerBlock returns the number of warps per block (rounded up).
+func (lc LaunchConfig) WarpsPerBlock() int {
+	return (lc.ThreadsPerBlock() + WarpSize - 1) / WarpSize
+}
+
+// Validate checks the launch against device limits.
+func (lc LaunchConfig) Validate(d *Device) error {
+	if lc.GridDimX <= 0 || lc.GridDimY <= 0 || lc.BlockDimX <= 0 || lc.BlockDimY <= 0 {
+		return fmt.Errorf("gpusim: non-positive launch geometry %+v", lc)
+	}
+	if tpb := lc.ThreadsPerBlock(); tpb > d.MaxThreadsPerBlk {
+		return fmt.Errorf("gpusim: %d threads per block exceeds device limit %d", tpb, d.MaxThreadsPerBlk)
+	}
+	if lc.SharedMemPerBlock > d.SharedMemPerSMKB*1024 {
+		return fmt.Errorf("gpusim: %d B shared memory per block exceeds SM capacity %d KB",
+			lc.SharedMemPerBlock, d.SharedMemPerSMKB)
+	}
+	if lc.RegsPerThread > d.MaxRegsPerThread {
+		return fmt.Errorf("gpusim: %d registers per thread exceeds device limit %d",
+			lc.RegsPerThread, d.MaxRegsPerThread)
+	}
+	return nil
+}
+
+// Occupancy describes the residency achievable for a launch on a device.
+type Occupancy struct {
+	BlocksPerSM     int     // resident blocks per SM
+	WarpsPerSM      int     // resident warps per SM
+	Theoretical     float64 // resident warps / max warps
+	LimitedBy       string  // "warps", "blocks", "shared", or "registers"
+	ActiveSMs       int     // SMs that receive at least one block
+	TailUtilization float64 // mean resident fraction accounting for the grid tail
+}
+
+// ComputeOccupancy evaluates the CUDA occupancy calculation for lc on d:
+// resident blocks per SM are bounded by the warp budget, the block-slot
+// budget, the shared-memory budget, and the register budget; the binding
+// constraint is reported.
+func ComputeOccupancy(d *Device, lc LaunchConfig) (Occupancy, error) {
+	if err := lc.Validate(d); err != nil {
+		return Occupancy{}, err
+	}
+	wpb := lc.WarpsPerBlock()
+
+	byWarps := d.MaxWarpsPerSM / wpb
+	byBlocks := d.MaxBlocksPerSM
+	byShared := d.MaxBlocksPerSM
+	if lc.SharedMemPerBlock > 0 {
+		byShared = d.SharedMemPerSMKB * 1024 / lc.SharedMemPerBlock
+	}
+	byRegs := d.MaxBlocksPerSM
+	if lc.RegsPerThread > 0 {
+		regsPerBlock := lc.RegsPerThread * lc.ThreadsPerBlock()
+		byRegs = d.RegFilePerSM / regsPerBlock
+	}
+
+	o := Occupancy{BlocksPerSM: byWarps, LimitedBy: "warps"}
+	if byBlocks < o.BlocksPerSM {
+		o.BlocksPerSM, o.LimitedBy = byBlocks, "blocks"
+	}
+	if byShared < o.BlocksPerSM {
+		o.BlocksPerSM, o.LimitedBy = byShared, "shared"
+	}
+	if byRegs < o.BlocksPerSM {
+		o.BlocksPerSM, o.LimitedBy = byRegs, "registers"
+	}
+	if o.BlocksPerSM < 1 {
+		return Occupancy{}, fmt.Errorf("gpusim: launch %+v cannot fit a single block per SM (limit: %s)",
+			lc, o.LimitedBy)
+	}
+
+	o.WarpsPerSM = o.BlocksPerSM * wpb
+	o.Theoretical = float64(o.WarpsPerSM) / float64(d.MaxWarpsPerSM)
+
+	// Tail utilization: with B blocks over S SMs in waves of
+	// S·BlocksPerSM blocks, the final partial wave leaves SMs idle.
+	blocks := lc.Blocks()
+	perWave := d.SMs * o.BlocksPerSM
+	fullWaves := blocks / perWave
+	rem := blocks % perWave
+	if rem == 0 {
+		o.ActiveSMs = d.SMs
+		o.TailUtilization = 1
+	} else {
+		active := (rem + o.BlocksPerSM - 1) / o.BlocksPerSM
+		if active > d.SMs {
+			active = d.SMs
+		}
+		o.ActiveSMs = active
+		total := float64(fullWaves*perWave + rem)
+		capacity := float64((fullWaves + 1) * perWave)
+		o.TailUtilization = total / capacity
+	}
+	if blocks >= perWave {
+		o.ActiveSMs = d.SMs
+	}
+	return o, nil
+}
+
+// AchievedOccupancy estimates the achieved_occupancy counter: the ratio of
+// average active warps per active cycle to the SM's warp capacity. It
+// discounts the theoretical occupancy by the grid-tail utilization and by a
+// stall factor supplied by the timing model (fraction of cycles warps are
+// unable to issue but still resident — resident warps count as active, so
+// only the tail and partial last blocks reduce the counter).
+func AchievedOccupancy(d *Device, lc LaunchConfig, o Occupancy) float64 {
+	blocks := lc.Blocks()
+	perWave := d.SMs * o.BlocksPerSM
+	if blocks >= perWave {
+		// Full waves dominate; the ragged final wave shaves a little.
+		waves := float64(blocks) / float64(perWave)
+		return o.Theoretical * weightFullWaves(waves)
+	}
+	// Partial single wave: fewer resident warps than theory assumes.
+	residentBlocks := float64(blocks) / float64(d.SMs)
+	if residentBlocks > float64(o.BlocksPerSM) {
+		residentBlocks = float64(o.BlocksPerSM)
+	}
+	warps := residentBlocks * float64(lc.WarpsPerBlock())
+	return warps / float64(d.MaxWarpsPerSM)
+}
+
+// weightFullWaves smooths the occupancy discount from ragged final waves:
+// many waves → achieved ≈ theoretical; few waves → tail matters more.
+func weightFullWaves(waves float64) float64 {
+	return waves / (waves + 0.35)
+}

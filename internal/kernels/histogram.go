@@ -1,0 +1,202 @@
+package kernels
+
+import (
+	"fmt"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/profiler"
+)
+
+// histBins is the histogram width (256-bin byte histogram, as in the CUDA
+// SDK histogram256 sample).
+const histBins = 256
+
+// Histogram is the CUDA SDK 256-bin histogram study — the atomics
+// counterpart of the reduction/transpose optimization ladders:
+//
+//	0 — global atomics: every thread atomicAdds directly into the global
+//	    bin array; contention serializes same-bin updates device-wide;
+//	1 — shared privatization: each block accumulates a private histogram
+//	    in shared memory (shared atomics, block-local contention) and
+//	    merges it into the global array once at the end.
+//
+// The Skew parameter concentrates the input distribution to dial the
+// same-address contention from uniform (low) to single-bin (maximal) —
+// the knob that makes atomic_replay_overhead an informative counter.
+type Histogram struct {
+	// Variant selects the kernel, 0–1.
+	Variant int
+	// N is the number of input elements.
+	N int
+	// BlockSize is threads per block (default 256).
+	BlockSize int
+	// Skew in [0, 1) is the fraction of inputs forced into bin 0.
+	Skew float64
+	// Seed generates the input.
+	Seed uint64
+
+	input []uint8
+	bins  []uint32
+}
+
+// Name implements profiler.Workload.
+func (h *Histogram) Name() string { return fmt.Sprintf("histogram%d", h.Variant) }
+
+// Characteristics implements profiler.Workload.
+func (h *Histogram) Characteristics() map[string]float64 {
+	return map[string]float64{"size": float64(h.N), "skew": h.Skew}
+}
+
+// Bins returns the computed histogram (valid after a fully-simulated run).
+func (h *Histogram) Bins() []uint32 { return h.bins }
+
+// Input returns the generated input bytes (valid after Plan).
+func (h *Histogram) Input() []uint8 { return h.input }
+
+// Release drops the input so sweeps do not accumulate it.
+func (h *Histogram) Release() { h.input = nil }
+
+// CPUHistogram is the reference histogram.
+func CPUHistogram(data []uint8) []uint32 {
+	out := make([]uint32, histBins)
+	for _, v := range data {
+		out[v]++
+	}
+	return out
+}
+
+// Plan implements profiler.Workload.
+func (h *Histogram) Plan(dev *gpusim.Device) ([]profiler.Launch, error) {
+	if h.Variant < 0 || h.Variant > 1 {
+		return nil, fmt.Errorf("kernels: histogram variant %d out of range [0,1]", h.Variant)
+	}
+	if h.N <= 0 {
+		return nil, fmt.Errorf("kernels: histogram size %d must be positive", h.N)
+	}
+	if h.BlockSize == 0 {
+		h.BlockSize = 256
+	}
+	if h.BlockSize < 64 || h.BlockSize > 1024 || h.BlockSize&(h.BlockSize-1) != 0 {
+		return nil, fmt.Errorf("kernels: histogram block size %d must be a power of two in [64,1024]", h.BlockSize)
+	}
+	if h.Skew < 0 || h.Skew >= 1 {
+		return nil, fmt.Errorf("kernels: histogram skew %v must be in [0,1)", h.Skew)
+	}
+	h.input = make([]uint8, h.N)
+	skewCut := uint64(h.Skew * float64(1<<24))
+	for i := range h.input {
+		r := splitmix64(h.Seed + uint64(i))
+		if r&0xffffff < skewCut {
+			h.input[i] = 0
+		} else {
+			h.input[i] = uint8(r >> 24)
+		}
+	}
+	h.bins = make([]uint32, histBins)
+
+	blocks := ceilDiv(h.N, h.BlockSize)
+	const maxBlocks = 240 // SDK-style grid cap; threads loop over input
+	if blocks > maxBlocks {
+		blocks = maxBlocks
+	}
+	shared := 0
+	if h.Variant == 1 {
+		shared = 4 * histBins
+	}
+	cfg := gpusim.LaunchConfig{
+		GridDimX: blocks, GridDimY: 1,
+		BlockDimX: h.BlockSize, BlockDimY: 1,
+		RegsPerThread:     16,
+		SharedMemPerBlock: shared,
+	}
+	return []profiler.Launch{{Label: h.Name(), Config: cfg, Kernel: h.kernel()}}, nil
+}
+
+func (h *Histogram) kernel() gpusim.KernelFunc {
+	n := h.N
+	input, bins := h.input, h.bins
+	variant := h.Variant
+	return func(w *gpusim.Warp) {
+		bdim, _ := w.BlockDim()
+		gdim, _ := w.GridDim()
+		bx, _ := w.BlockIdx()
+		valid := w.ValidMask()
+		stride := bdim * gdim
+		tid := laneInts(w.LinearTID)
+
+		var priv []uint32
+		if variant == 1 {
+			priv = w.BlockState("priv", func() any { return make([]uint32, histBins) }).([]uint32)
+			// Zero the private histogram cooperatively (256 words,
+			// blockSize threads): histBins/bdim stores per thread.
+			for o := 0; o < histBins; o += bdim {
+				sIdx := laneInts(func(l int) int { return (o + tid[l]) % histBins })
+				sOffs := offs4(&sIdx)
+				w.SharedStore(valid, &sOffs)
+			}
+			w.Sync()
+		}
+
+		gi := laneInts(func(l int) int { return bx*bdim + tid[l] })
+		w.IntOps(valid, 2)
+		for {
+			inRange := valid & gpusim.MaskWhere(func(l int) bool { return gi[l] < n })
+			w.Branch(valid, inRange)
+			if inRange == 0 {
+				break
+			}
+			addrs := addrs4(baseInput, &gi)
+			w.GlobalLoad(inRange, &addrs, 1)
+
+			var binIdx [gpusim.WarpSize]int
+			for l := 0; l < gpusim.WarpSize; l++ {
+				if inRange.Active(l) {
+					binIdx[l] = int(input[gi[l]])
+				}
+			}
+			w.IntOps(inRange, 1)
+			if variant == 0 {
+				gAddrs := addrs4(baseOutput, &binIdx)
+				w.AtomicGlobalAdd(inRange, &gAddrs)
+			} else {
+				sOffs := offs4(&binIdx)
+				w.AtomicSharedAdd(inRange, &sOffs)
+			}
+			// Functional accumulation (single-threaded simulation makes
+			// plain adds exact).
+			for l := 0; l < gpusim.WarpSize; l++ {
+				if inRange.Active(l) {
+					if variant == 0 {
+						bins[binIdx[l]]++
+					} else {
+						priv[binIdx[l]]++
+					}
+				}
+			}
+			for l := range gi {
+				gi[l] += stride
+			}
+			w.IntOps(valid, 1)
+		}
+
+		if variant == 1 {
+			// Merge the private histogram into the global one.
+			w.Sync()
+			for o := 0; o < histBins; o += bdim {
+				idx := laneInts(func(l int) int { return (o + tid[l]) % histBins })
+				sOffs := offs4(&idx)
+				w.SharedLoad(valid, &sOffs)
+				gAddrs := addrs4(baseOutput, &idx)
+				w.AtomicGlobalAdd(valid, &gAddrs)
+			}
+			// All warps passed the barrier, so accumulation is done;
+			// warp 0 performs the functional merge once per block.
+			if w.WarpID() == 0 {
+				for b := 0; b < histBins; b++ {
+					bins[b] += priv[b]
+					priv[b] = 0
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package kernels
+
+import (
+	"fmt"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/profiler"
+)
+
+// MatMul is the CUDA SDK tiled matrix multiplication: C = A·B for n×n
+// float32 matrices, computed by a grid of (n/b)×(n/b) thread blocks, each
+// loading b×b tiles of A and B through shared memory (§6.1.1 of the
+// paper). Load and store traffic is highly unbalanced — b loads per store
+// — which is why the paper finds store-throughput counters dominating the
+// variable importance.
+type MatMul struct {
+	// N is the matrix dimension; must be a multiple of Tile.
+	N int
+	// Tile is the tile edge b (SDK BLOCK_SIZE, default 16).
+	Tile int
+	// Seed generates the input matrices.
+	Seed uint64
+
+	a, b, c []float32
+}
+
+// Name implements profiler.Workload.
+func (m *MatMul) Name() string { return "matmul" }
+
+// Characteristics implements profiler.Workload.
+func (m *MatMul) Characteristics() map[string]float64 {
+	return map[string]float64{"size": float64(m.N)}
+}
+
+// A, B and C return the input and output matrices (valid after Plan; C is
+// filled by a fully-simulated run).
+func (m *MatMul) A() []float32 { return m.a }
+func (m *MatMul) B() []float32 { return m.b }
+func (m *MatMul) C() []float32 { return m.c }
+
+// Release drops the matrices so sweeps do not accumulate them.
+func (m *MatMul) Release() { m.a, m.b, m.c = nil, nil, nil }
+
+// CPUMatMul is the reference n×n row-major multiply.
+func CPUMatMul(a, b []float32, n int) []float32 {
+	c := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			brow := b[k*n : (k+1)*n]
+			crow := c[i*n : (i+1)*n]
+			for j, v := range brow {
+				crow[j] += aik * v
+			}
+		}
+	}
+	return c
+}
+
+// Plan implements profiler.Workload.
+func (m *MatMul) Plan(dev *gpusim.Device) ([]profiler.Launch, error) {
+	if m.Tile == 0 {
+		m.Tile = 16
+	}
+	if m.Tile != 16 && m.Tile != 32 {
+		return nil, fmt.Errorf("kernels: matmul tile %d must be 16 or 32", m.Tile)
+	}
+	if m.N <= 0 || m.N%m.Tile != 0 {
+		return nil, fmt.Errorf("kernels: matmul size %d must be a positive multiple of tile %d", m.N, m.Tile)
+	}
+	n := m.N
+	m.a = make([]float32, n*n)
+	m.b = make([]float32, n*n)
+	m.c = make([]float32, n*n)
+	for i := range m.a {
+		m.a[i] = randomF32(m.Seed, uint64(i))
+		m.b[i] = randomF32(m.Seed^0xb, uint64(i))
+	}
+
+	grid := n / m.Tile
+	cfg := gpusim.LaunchConfig{
+		GridDimX: grid, GridDimY: grid,
+		BlockDimX: m.Tile, BlockDimY: m.Tile,
+		RegsPerThread:     20,
+		SharedMemPerBlock: 2 * 4 * m.Tile * m.Tile,
+	}
+	return []profiler.Launch{{
+		Label:  "matrixMul",
+		Config: cfg,
+		Kernel: m.kernel(),
+	}}, nil
+}
+
+// kernel is the tiled multiply. With blockDim (b, b), each warp covers
+// 32/b consecutive tile rows; lane → (tx, ty) via the linear thread index.
+func (m *MatMul) kernel() gpusim.KernelFunc {
+	n := m.N
+	b := m.Tile
+	a, bm, c := m.a, m.b, m.c
+	return func(w *gpusim.Warp) {
+		bx, by := w.BlockIdx()
+		full := w.ValidMask() // b² is a multiple of 32, so always full
+
+		var tx, ty, row, col [gpusim.WarpSize]int
+		for l := 0; l < gpusim.WarpSize; l++ {
+			t := w.LinearTID(l)
+			tx[l] = t % b
+			ty[l] = t / b
+			row[l] = by*b + ty[l]
+			col[l] = bx*b + tx[l]
+		}
+		w.IntOps(full, 4) // index arithmetic for row/col
+
+		as := w.SharedF32("As", b*b)
+		bs := w.SharedF32("Bs", b*b)
+		var acc [gpusim.WarpSize]float32
+
+		tiles := n / b
+		for t := 0; t < tiles; t++ {
+			// As[ty][tx] = A[row][t*b+tx]; Bs[ty][tx] = B[t*b+ty][col]
+			aIdx := laneInts(func(l int) int { return row[l]*n + t*b + tx[l] })
+			bIdx := laneInts(func(l int) int { return (t*b+ty[l])*n + col[l] })
+			aAddrs := addrs4(baseA, &aIdx)
+			bAddrs := addrs4(baseB, &bIdx)
+			w.IntOps(full, 4)
+			w.GlobalLoad(full, &aAddrs, 4)
+			w.GlobalLoad(full, &bAddrs, 4)
+			sIdx := laneInts(func(l int) int { return ty[l]*b + tx[l] })
+			sOffs := offs4(&sIdx)
+			for l := 0; l < gpusim.WarpSize; l++ {
+				as[sIdx[l]] = a[aIdx[l]]
+				bs[sIdx[l]] = bm[bIdx[l]]
+			}
+			w.SharedStore(full, &sOffs)
+			w.SharedStore(full, &sOffs)
+			w.Sync()
+
+			for k := 0; k < b; k++ {
+				aOff := laneInts(func(l int) int { return ty[l]*b + k })
+				bOff := laneInts(func(l int) int { return k*b + tx[l] })
+				ao := offs4(&aOff)
+				bo := offs4(&bOff)
+				w.SharedLoad(full, &ao)
+				w.SharedLoad(full, &bo)
+				w.FloatOps(full, 1) // fused multiply-add
+				for l := 0; l < gpusim.WarpSize; l++ {
+					acc[l] += as[aOff[l]] * bs[bOff[l]]
+				}
+			}
+			w.Sync()
+		}
+
+		cIdx := laneInts(func(l int) int { return row[l]*n + col[l] })
+		cAddrs := addrs4(baseC, &cIdx)
+		w.IntOps(full, 2)
+		w.GlobalStore(full, &cAddrs, 4)
+		for l := 0; l < gpusim.WarpSize; l++ {
+			c[cIdx[l]] = acc[l]
+		}
+	}
+}

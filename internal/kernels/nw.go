@@ -1,0 +1,308 @@
+package kernels
+
+import (
+	"fmt"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/profiler"
+)
+
+// nwBlock is the Rodinia BLOCK_SIZE: thread blocks have only 16 threads,
+// trading warp utilization for occupancy (§6.1.2: "For maximum occupancy,
+// each TB only has 16 threads. This leads to idling of some threads in the
+// warps.").
+const nwBlock = 16
+
+// nwAlphabet is the amino-acid alphabet size of the similarity table
+// (BLOSUM-like, 24 symbols in Rodinia's blosum62).
+const nwAlphabet = 24
+
+// NeedlemanWunsch is the Rodinia NW sequence-alignment benchmark: fill an
+// (n+1)×(n+1) score matrix with the global-alignment dynamic program,
+// processing 16×16 tiles in parallel along anti-diagonal strips. Two
+// kernels traverse the matrix: kernel 1 from the top-left and kernel 2 to
+// the bottom-right, launched once per strip (2·n/16 − 1 launches total).
+type NeedlemanWunsch struct {
+	// SeqLen is the sequence length n; must be a positive multiple of 16.
+	SeqLen int
+	// Penalty is the gap penalty (Rodinia default 10).
+	Penalty int32
+	// Seed generates the sequences and similarity table.
+	Seed uint64
+
+	seq1, seq2 []int32 // 1-based: seq[i] for i in [1, n]
+	blosum     [nwAlphabet][nwAlphabet]int32
+	score      []int32 // (n+1)×(n+1) row-major input_itemsets
+}
+
+// Name implements profiler.Workload.
+func (nw *NeedlemanWunsch) Name() string { return "needle" }
+
+// Characteristics implements profiler.Workload.
+func (nw *NeedlemanWunsch) Characteristics() map[string]float64 {
+	return map[string]float64{"size": float64(nw.SeqLen)}
+}
+
+// Score returns the score matrix (valid after a fully-simulated run).
+func (nw *NeedlemanWunsch) Score() []int32 { return nw.score }
+
+// Release drops the O(n²) score matrix so sweeps do not accumulate it.
+func (nw *NeedlemanWunsch) Release() { nw.score, nw.seq1, nw.seq2 = nil, nil, nil }
+
+// ref returns the similarity score of matrix cell (i, j), both 1-based —
+// Rodinia precomputes this as the "reference" matrix; we evaluate it
+// lazily to avoid the O(n²) allocation.
+func (nw *NeedlemanWunsch) ref(i, j int) int32 {
+	return nw.blosum[nw.seq1[i]][nw.seq2[j]]
+}
+
+// CPUNeedlemanWunsch fills the score matrix sequentially — the reference
+// for functional verification.
+func (nw *NeedlemanWunsch) CPUNeedlemanWunsch() []int32 {
+	n := nw.SeqLen
+	cols := n + 1
+	out := make([]int32, cols*cols)
+	for i := 0; i < cols; i++ {
+		out[i*cols] = int32(-i) * nw.Penalty
+		out[i] = int32(-i) * nw.Penalty
+	}
+	for i := 1; i < cols; i++ {
+		for j := 1; j < cols; j++ {
+			out[i*cols+j] = max3(
+				out[(i-1)*cols+j-1]+nw.ref(i, j),
+				out[i*cols+j-1]-nw.Penalty,
+				out[(i-1)*cols+j]-nw.Penalty,
+			)
+		}
+	}
+	return out
+}
+
+func max3(a, b, c int32) int32 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}
+
+// Plan implements profiler.Workload.
+func (nw *NeedlemanWunsch) Plan(dev *gpusim.Device) ([]profiler.Launch, error) {
+	if nw.SeqLen <= 0 || nw.SeqLen%nwBlock != 0 {
+		return nil, fmt.Errorf("kernels: NW sequence length %d must be a positive multiple of %d", nw.SeqLen, nwBlock)
+	}
+	if nw.Penalty == 0 {
+		nw.Penalty = 10
+	}
+	n := nw.SeqLen
+	cols := n + 1
+
+	nw.seq1 = make([]int32, cols)
+	nw.seq2 = make([]int32, cols)
+	for i := 1; i < cols; i++ {
+		nw.seq1[i] = randomI32(nw.Seed, uint64(i), nwAlphabet)
+		nw.seq2[i] = randomI32(nw.Seed^0x5e92, uint64(i), nwAlphabet)
+	}
+	for a := 0; a < nwAlphabet; a++ {
+		for b := 0; b < nwAlphabet; b++ {
+			nw.blosum[a][b] = randomI32(nw.Seed^0xb105, uint64(a*nwAlphabet+b), 21) - 10
+		}
+	}
+	nw.score = make([]int32, cols*cols)
+	for i := 0; i < cols; i++ {
+		nw.score[i*cols] = int32(-i) * nw.Penalty
+		nw.score[i] = int32(-i) * nw.Penalty
+	}
+
+	blockWidth := n / nwBlock
+	var launches []profiler.Launch
+	mk := func(label string, strip int, blocks int, topLeft bool) profiler.Launch {
+		return profiler.Launch{
+			Label: label,
+			Config: gpusim.LaunchConfig{
+				GridDimX: blocks, GridDimY: 1,
+				BlockDimX: nwBlock, BlockDimY: 1,
+				RegsPerThread: 24,
+				// temp[17][17] + ref[16][16] ints.
+				SharedMemPerBlock: 4 * ((nwBlock+1)*(nwBlock+1) + nwBlock*nwBlock),
+			},
+			Kernel: nw.kernel(strip, blockWidth, topLeft),
+		}
+	}
+	for i := 1; i <= blockWidth; i++ {
+		launches = append(launches, mk("needle_cuda_shared_1", i, i, true))
+	}
+	for i := blockWidth - 1; i >= 1; i-- {
+		launches = append(launches, mk("needle_cuda_shared_2", i, i, false))
+	}
+	return launches, nil
+}
+
+// kernel processes one 16×16 tile per block along anti-diagonal strip i.
+// Each block runs a single 16-thread (half-empty) warp.
+func (nw *NeedlemanWunsch) kernel(strip, blockWidth int, topLeft bool) gpusim.KernelFunc {
+	cols := nw.SeqLen + 1
+	penalty := nw.Penalty
+	score := nw.score
+	return func(w *gpusim.Warp) {
+		bx, _ := w.BlockIdx()
+		var bIdxX, bIdxY int
+		if topLeft {
+			bIdxX = bx
+			bIdxY = strip - 1 - bx
+		} else {
+			bIdxX = bx + blockWidth - strip
+			bIdxY = blockWidth - bx - 1
+		}
+
+		active := w.ValidMask() // lanes 0–15
+		tid := laneInts(w.LinearTID)
+
+		// Cell indices as in Rodinia.
+		base := cols*nwBlock*bIdxY + nwBlock*bIdxX
+		indexNW := base
+		indexN := laneInts(func(l int) int { return base + tid[l] + 1 })
+		indexW := base + cols
+		index := laneInts(func(l int) int { return base + cols + 1 + tid[l] })
+
+		// temp[17][17] and ref[16][16] in shared memory.
+		temp := w.SharedI32("temp", (nwBlock+1)*(nwBlock+1))
+		refS := w.SharedI32("ref", nwBlock*nwBlock)
+		w.IntOps(active, 6) // index arithmetic
+
+		// temp[0][0] = input[index_nw] (lane 0 only).
+		lane0 := active & gpusim.MaskFirstN(1)
+		w.Branch(active, lane0)
+		nwIdx := laneInts(func(int) int { return indexNW })
+		nwAddrs := addrs4(baseScore, &nwIdx)
+		w.GlobalLoad(lane0, &nwAddrs, 4)
+		temp[0] = score[indexNW]
+		var zeroOffs [gpusim.WarpSize]uint32
+		w.SharedStore(lane0, &zeroOffs)
+
+		// ref_s[ty][tid] = reference[index + cols*ty]: 16 coalesced rows.
+		for ty := 0; ty < nwBlock; ty++ {
+			rIdx := laneInts(func(l int) int { return index[l] + cols*ty })
+			rAddrs := addrs4(baseRef, &rIdx)
+			w.GlobalLoad(active, &rAddrs, 4)
+			sIdx := laneInts(func(l int) int { return ty*nwBlock + tid[l] })
+			sOffs := offs4(&sIdx)
+			for l := 0; l < gpusim.WarpSize; l++ {
+				if active.Active(l) {
+					// Matrix cell (row, col) of this lane's ref entry.
+					row := bIdxY*nwBlock + ty + 1
+					col := bIdxX*nwBlock + tid[l] + 1
+					refS[sIdx[l]] = nw.ref(row, col)
+				}
+			}
+			w.SharedStore(active, &sOffs)
+		}
+		w.Sync()
+
+		// temp[tid+1][0] = input[index_w + cols*tid]: strided, uncoalesced.
+		wIdx := laneInts(func(l int) int { return indexW + cols*tid[l] })
+		wAddrs := addrs4(baseScore, &wIdx)
+		w.GlobalLoad(active, &wAddrs, 4)
+		wOff := laneInts(func(l int) int { return (tid[l] + 1) * (nwBlock + 1) })
+		wOffs := offs4(&wOff)
+		for l := 0; l < gpusim.WarpSize; l++ {
+			if active.Active(l) {
+				temp[wOff[l]] = score[wIdx[l]]
+			}
+		}
+		w.SharedStore(active, &wOffs)
+		w.Sync()
+
+		// temp[0][tid+1] = input[index_n]: coalesced north row.
+		nAddrs := addrs4(baseScore, &indexN)
+		w.GlobalLoad(active, &nAddrs, 4)
+		nOff := laneInts(func(l int) int { return tid[l] + 1 })
+		nOffs := offs4(&nOff)
+		for l := 0; l < gpusim.WarpSize; l++ {
+			if active.Active(l) {
+				temp[nOff[l]] = score[indexN[l]]
+			}
+		}
+		w.SharedStore(active, &nOffs)
+		w.Sync()
+
+		// Forward wavefront over the tile's anti-diagonals.
+		for m := 0; m < nwBlock; m++ {
+			step := active & gpusim.MaskWhere(func(l int) bool { return tid[l] <= m })
+			nw.dpStep(w, temp, refS, active, step, tid, func(l int) (x, y int) {
+				return tid[l] + 1, m - tid[l] + 1
+			}, penalty)
+			w.Sync()
+		}
+		// Backward wavefront.
+		for m := nwBlock - 2; m >= 0; m-- {
+			step := active & gpusim.MaskWhere(func(l int) bool { return tid[l] <= m })
+			nw.dpStep(w, temp, refS, active, step, tid, func(l int) (x, y int) {
+				return tid[l] + nwBlock - m, nwBlock - tid[l]
+			}, penalty)
+			w.Sync()
+		}
+
+		// Write the tile back: input[index + cols*ty] = temp[ty+1][tid+1].
+		for ty := 0; ty < nwBlock; ty++ {
+			oIdx := laneInts(func(l int) int { return index[l] + cols*ty })
+			oAddrs := addrs4(baseScore, &oIdx)
+			tOff := laneInts(func(l int) int { return (ty+1)*(nwBlock+1) + tid[l] + 1 })
+			tOffs := offs4(&tOff)
+			w.SharedLoad(active, &tOffs)
+			w.GlobalStore(active, &oAddrs, 4)
+			for l := 0; l < gpusim.WarpSize; l++ {
+				if active.Active(l) {
+					score[oIdx[l]] = temp[tOff[l]]
+				}
+			}
+		}
+	}
+}
+
+// dpStep performs one anti-diagonal step: for each active lane, cell
+// (t_y, t_x) gets max(diag+ref, west−penalty, north−penalty).
+func (nw *NeedlemanWunsch) dpStep(w *gpusim.Warp, temp, refS []int32, active, step gpusim.Mask,
+	tid [gpusim.WarpSize]int, cell func(l int) (x, y int), penalty int32) {
+	w.IntOps(active, 2) // diagonal index arithmetic
+	w.Branch(active, step)
+	if step == 0 {
+		return
+	}
+	const tw = nwBlock + 1
+	var diag, west, north, self, refOff [gpusim.WarpSize]int
+	for l := 0; l < gpusim.WarpSize; l++ {
+		if !step.Active(l) {
+			continue
+		}
+		x, y := cell(l)
+		diag[l] = (y-1)*tw + (x - 1)
+		west[l] = y*tw + (x - 1)
+		north[l] = (y-1)*tw + x
+		self[l] = y*tw + x
+		refOff[l] = (y-1)*nwBlock + (x - 1)
+	}
+	dOffs := offs4(&diag)
+	wOffs := offs4(&west)
+	nOffs := offs4(&north)
+	sOffs := offs4(&self)
+	rOffs := offs4(&refOff)
+	w.SharedLoad(step, &dOffs)
+	w.SharedLoad(step, &rOffs)
+	w.SharedLoad(step, &wOffs)
+	w.SharedLoad(step, &nOffs)
+	w.IntOps(step, 4) // two subtractions, two max ops
+	for l := 0; l < gpusim.WarpSize; l++ {
+		if step.Active(l) {
+			temp[self[l]] = max3(
+				temp[diag[l]]+refS[refOff[l]],
+				temp[west[l]]-penalty,
+				temp[north[l]]-penalty,
+			)
+		}
+	}
+	w.SharedStore(step, &sOffs)
+}

@@ -1,0 +1,158 @@
+package kernels
+
+import (
+	"fmt"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/profiler"
+)
+
+// Transpose tile geometry, as in the CUDA SDK transpose sample.
+const (
+	transTile = 32 // TILE_DIM
+	transRows = 8  // BLOCK_ROWS: each thread moves TILE_DIM/BLOCK_ROWS elements
+)
+
+// Transpose is the CUDA SDK matrix-transpose optimization study: three
+// variants of out = inᵀ for an n×n float32 matrix, each fixing the
+// previous one's bottleneck — the same pedagogical ladder as the reduction
+// benchmark, and a natural test of BlackForest's bottleneck analysis:
+//
+//	0 — naive: coalesced reads, strided (uncoalesced) writes
+//	1 — shared-memory tiles: both sides coalesced, but the 32×32 tile
+//	    makes column reads hit a single bank (32-way conflicts)
+//	2 — padded tiles (32×33): conflict-free
+type Transpose struct {
+	// Variant selects the kernel, 0–2.
+	Variant int
+	// N is the matrix dimension; must be a multiple of 32.
+	N int
+	// Seed generates the input.
+	Seed uint64
+
+	in, out []float32
+}
+
+// Name implements profiler.Workload.
+func (t *Transpose) Name() string { return fmt.Sprintf("transpose%d", t.Variant) }
+
+// Characteristics implements profiler.Workload.
+func (t *Transpose) Characteristics() map[string]float64 {
+	return map[string]float64{"size": float64(t.N)}
+}
+
+// In and Out return the input and output matrices (valid after Plan; Out
+// is filled by a fully-simulated run).
+func (t *Transpose) In() []float32  { return t.in }
+func (t *Transpose) Out() []float32 { return t.out }
+
+// Release drops the matrices so sweeps do not accumulate them.
+func (t *Transpose) Release() { t.in, t.out = nil, nil }
+
+// CPUTranspose is the reference row-major transpose.
+func CPUTranspose(in []float32, n int) []float32 {
+	out := make([]float32, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			out[x*n+y] = in[y*n+x]
+		}
+	}
+	return out
+}
+
+// Plan implements profiler.Workload.
+func (t *Transpose) Plan(dev *gpusim.Device) ([]profiler.Launch, error) {
+	if t.Variant < 0 || t.Variant > 2 {
+		return nil, fmt.Errorf("kernels: transpose variant %d out of range [0,2]", t.Variant)
+	}
+	if t.N <= 0 || t.N%transTile != 0 {
+		return nil, fmt.Errorf("kernels: transpose size %d must be a positive multiple of %d", t.N, transTile)
+	}
+	n := t.N
+	t.in = make([]float32, n*n)
+	t.out = make([]float32, n*n)
+	for i := range t.in {
+		t.in[i] = randomF32(t.Seed, uint64(i))
+	}
+	shared := 0
+	if t.Variant > 0 {
+		width := transTile
+		if t.Variant == 2 {
+			width = transTile + 1
+		}
+		shared = 4 * transTile * width
+	}
+	cfg := gpusim.LaunchConfig{
+		GridDimX: n / transTile, GridDimY: n / transTile,
+		BlockDimX: transTile, BlockDimY: transRows,
+		RegsPerThread:     14,
+		SharedMemPerBlock: shared,
+	}
+	return []profiler.Launch{{Label: t.Name(), Config: cfg, Kernel: t.kernel()}}, nil
+}
+
+// kernel moves one 32×32 tile per block; each of the 8 warps covers one
+// row-slice and iterates 4 row offsets (ty, ty+8, ty+16, ty+24).
+func (t *Transpose) kernel() gpusim.KernelFunc {
+	n := t.N
+	in, out := t.in, t.out
+	variant := t.Variant
+	tileW := transTile // words per tile row in shared memory
+	if variant == 2 {
+		tileW = transTile + 1
+	}
+	return func(w *gpusim.Warp) {
+		bx, by := w.BlockIdx()
+		full := w.ValidMask()
+		ty := w.WarpID() // blockDim (32,8): warp k is thread row k
+
+		if variant == 0 {
+			// Naive: out[x*n + y] = in[y*n + x].
+			w.IntOps(full, 4)
+			for j := 0; j < transTile/transRows; j++ {
+				row := by*transTile + ty + j*transRows
+				rIdx := laneInts(func(l int) int { return row*n + bx*transTile + l })
+				rAddrs := addrs4(baseA, &rIdx)
+				w.GlobalLoad(full, &rAddrs, 4)
+				wIdx := laneInts(func(l int) int { return (bx*transTile+l)*n + row })
+				wAddrs := addrs4(baseB, &wIdx)
+				w.GlobalStore(full, &wAddrs, 4)
+				for l := 0; l < gpusim.WarpSize; l++ {
+					out[wIdx[l]] = in[rIdx[l]]
+				}
+			}
+			return
+		}
+
+		tile := w.SharedF32("tile", transTile*tileW)
+		w.IntOps(full, 4)
+		// Load phase: tile[(ty+j*8)][tx] = in[(by*32+ty+j*8)*n + bx*32+tx].
+		for j := 0; j < transTile/transRows; j++ {
+			row := by*transTile + ty + j*transRows
+			rIdx := laneInts(func(l int) int { return row*n + bx*transTile + l })
+			rAddrs := addrs4(baseA, &rIdx)
+			w.GlobalLoad(full, &rAddrs, 4)
+			sIdx := laneInts(func(l int) int { return (ty+j*transRows)*tileW + l })
+			sOffs := offs4(&sIdx)
+			for l := 0; l < gpusim.WarpSize; l++ {
+				tile[sIdx[l]] = in[rIdx[l]]
+			}
+			w.SharedStore(full, &sOffs)
+		}
+		w.Sync()
+		// Store phase: out[(bx*32+ty+j*8)*n + by*32+tx] = tile[tx][ty+j*8]
+		// — the column read that conflicts without padding.
+		for j := 0; j < transTile/transRows; j++ {
+			col := ty + j*transRows
+			sIdx := laneInts(func(l int) int { return l*tileW + col })
+			sOffs := offs4(&sIdx)
+			w.SharedLoad(full, &sOffs)
+			wIdx := laneInts(func(l int) int { return (bx*transTile+col)*n + by*transTile + l })
+			wAddrs := addrs4(baseB, &wIdx)
+			w.GlobalStore(full, &wAddrs, 4)
+			for l := 0; l < gpusim.WarpSize; l++ {
+				out[wIdx[l]] = tile[sIdx[l]]
+			}
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package mars implements Multivariate Adaptive Regression Splines
+// (Friedman, 1991), the non-parametric regression BlackForest uses to model
+// performance counters in terms of problem/hardware characteristics when
+// linear models are inadequate (§4.1.3, §6.1.2). The implementation follows
+// the classical two-stage algorithm: a forward pass greedily adding mirror
+// pairs of hinge basis functions (optionally interacting with existing
+// terms), then a backward pruning pass selecting the subset minimizing
+// generalized cross-validation (GCV) — the same algorithm as R's earth.
+package mars
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"blackforest/internal/mat"
+	"blackforest/internal/stats"
+)
+
+// Config controls MARS fitting.
+type Config struct {
+	// MaxTerms caps the number of basis terms (including the intercept)
+	// after the forward pass. earth's default is min(21, 2·p+1).
+	MaxTerms int
+	// MaxDegree is the maximum interaction degree (1 = additive model,
+	// 2 allows pairwise hinge products). Default 2.
+	MaxDegree int
+	// MaxKnots caps candidate knots per feature (quantile-spaced).
+	// Default 20.
+	MaxKnots int
+	// Penalty is the GCV cost per knot; earth uses 2 for additive models
+	// and 3 when interactions are allowed. 0 selects that default.
+	Penalty float64
+}
+
+// DefaultConfig returns earth-like defaults.
+func DefaultConfig() Config {
+	return Config{MaxDegree: 2, MaxKnots: 20}
+}
+
+// hinge is one factor max(0, ±(x_j − knot)) of a basis term.
+type hinge struct {
+	feature int
+	knot    float64
+	// pos selects max(0, x−knot) when true, max(0, knot−x) otherwise.
+	pos bool
+}
+
+func (h hinge) eval(x []float64) float64 {
+	d := x[h.feature] - h.knot
+	if !h.pos {
+		d = -d
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// term is a product of hinges; the empty product is the intercept.
+type term struct {
+	factors []hinge
+}
+
+func (t term) eval(x []float64) float64 {
+	v := 1.0
+	for _, h := range t.factors {
+		v *= h.eval(x)
+		if v == 0 {
+			return 0
+		}
+	}
+	return v
+}
+
+// usesFeature reports whether the term already involves feature j.
+func (t term) usesFeature(j int) bool {
+	for _, h := range t.factors {
+		if h.feature == j {
+			return true
+		}
+	}
+	return false
+}
+
+// Model is a fitted MARS model: ŷ(x) = Σ coef_i · B_i(x).
+type Model struct {
+	Names []string
+	terms []term
+	Coef  []float64
+	// GCV is the generalized cross-validation score of the final model.
+	GCV float64
+	// RSS is the residual sum of squares on the training data.
+	RSS float64
+	// TrainR2 is R² on the training data.
+	TrainR2 float64
+}
+
+// Fit fits a MARS model of y on x (rows are observations).
+func Fit(x [][]float64, y []float64, names []string, cfg Config) (*Model, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("mars: empty training set")
+	}
+	p := len(x[0])
+	if len(y) != n {
+		return nil, fmt.Errorf("mars: %d rows but %d responses", n, len(y))
+	}
+	if len(names) != p {
+		return nil, fmt.Errorf("mars: %d names for %d predictors", len(names), p)
+	}
+	if cfg.MaxTerms <= 0 {
+		// earth's default: min(200, max(20, 2p)) + 1.
+		cfg.MaxTerms = 2 * p
+		if cfg.MaxTerms < 20 {
+			cfg.MaxTerms = 20
+		}
+		if cfg.MaxTerms > 200 {
+			cfg.MaxTerms = 200
+		}
+		cfg.MaxTerms++
+	}
+	if cfg.MaxDegree <= 0 {
+		cfg.MaxDegree = 2
+	}
+	if cfg.MaxKnots <= 0 {
+		cfg.MaxKnots = 20
+	}
+	if cfg.Penalty == 0 {
+		if cfg.MaxDegree > 1 {
+			cfg.Penalty = 3
+		} else {
+			cfg.Penalty = 2
+		}
+	}
+
+	knots := candidateKnots(x, cfg.MaxKnots)
+	terms := forwardPass(x, y, knots, cfg)
+	terms = backwardPass(x, y, terms, cfg)
+
+	coef, rss, err := fitCoefficients(x, y, terms)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Names: append([]string(nil), names...),
+		terms: terms,
+		Coef:  coef,
+		RSS:   rss,
+		GCV:   gcv(rss, n, len(terms), cfg.Penalty),
+	}
+	tss := stats.SumSquaredDev(y)
+	if tss > 0 {
+		m.TrainR2 = 1 - rss/tss
+	}
+	return m, nil
+}
+
+// candidateKnots returns quantile-spaced knot candidates per feature,
+// excluding the extremes (a hinge at the min or max is degenerate).
+func candidateKnots(x [][]float64, maxKnots int) [][]float64 {
+	p := len(x[0])
+	out := make([][]float64, p)
+	col := make([]float64, len(x))
+	for j := 0; j < p; j++ {
+		for i, row := range x {
+			col[i] = row[j]
+		}
+		sorted := append([]float64(nil), col...)
+		sort.Float64s(sorted)
+		uniq := sorted[:0]
+		for i, v := range sorted {
+			if i == 0 || v != uniq[len(uniq)-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		if len(uniq) <= 2 {
+			continue // constant or binary feature: no interior knots
+		}
+		interior := uniq[1 : len(uniq)-1]
+		if len(interior) <= maxKnots {
+			out[j] = append([]float64(nil), interior...)
+			continue
+		}
+		ks := make([]float64, maxKnots)
+		for k := 0; k < maxKnots; k++ {
+			pos := float64(k) * float64(len(interior)-1) / float64(maxKnots-1)
+			ks[k] = interior[int(pos)]
+		}
+		out[j] = ks
+	}
+	return out
+}
+
+// forwardPass greedily adds mirror hinge pairs minimizing RSS.
+func forwardPass(x [][]float64, y []float64, knots [][]float64, cfg Config) []term {
+	terms := []term{{}} // intercept
+	_, bestRSS, err := fitCoefficients(x, y, terms)
+	if err != nil {
+		return terms
+	}
+
+	for len(terms)+1 < cfg.MaxTerms {
+		type candidate struct {
+			parent int
+			h      hinge
+		}
+		var best candidate
+		bestGain := 0.0
+		found := false
+
+		for pi, parent := range terms {
+			if len(parent.factors) >= cfg.MaxDegree {
+				continue
+			}
+			for j, ks := range knots {
+				if parent.usesFeature(j) {
+					continue
+				}
+				for _, k := range ks {
+					trial := append(terms,
+						extend(parent, hinge{feature: j, knot: k, pos: true}),
+						extend(parent, hinge{feature: j, knot: k, pos: false}),
+					)
+					_, rss, err := fitCoefficients(x, y, trial)
+					if err != nil {
+						continue
+					}
+					if gain := bestRSS - rss; gain > bestGain {
+						bestGain = gain
+						best = candidate{parent: pi, h: hinge{feature: j, knot: k, pos: true}}
+						found = true
+					}
+				}
+			}
+		}
+		// Stop when the best addition explains under 0.01% of remaining RSS.
+		if !found || bestGain < 1e-4*bestRSS {
+			break
+		}
+		parent := terms[best.parent]
+		terms = append(terms,
+			extend(parent, best.h),
+			extend(parent, hinge{feature: best.h.feature, knot: best.h.knot, pos: false}),
+		)
+		bestRSS -= bestGain
+		if bestRSS <= 1e-12 {
+			break
+		}
+	}
+	return terms
+}
+
+func extend(parent term, h hinge) term {
+	f := make([]hinge, len(parent.factors)+1)
+	copy(f, parent.factors)
+	f[len(parent.factors)] = h
+	return term{factors: f}
+}
+
+// backwardPass prunes terms one at a time, keeping the subset with the best
+// (lowest) GCV seen. The intercept is never removed.
+func backwardPass(x [][]float64, y []float64, terms []term, cfg Config) []term {
+	n := len(x)
+	best := append([]term(nil), terms...)
+	_, rss, err := fitCoefficients(x, y, terms)
+	if err != nil {
+		return best
+	}
+	bestGCV := gcv(rss, n, len(terms), cfg.Penalty)
+
+	current := append([]term(nil), terms...)
+	for len(current) > 1 {
+		removeIdx := -1
+		removeGCV := math.Inf(1)
+		for i := 1; i < len(current); i++ { // skip intercept at 0
+			trial := make([]term, 0, len(current)-1)
+			trial = append(trial, current[:i]...)
+			trial = append(trial, current[i+1:]...)
+			_, rss, err := fitCoefficients(x, y, trial)
+			if err != nil {
+				continue
+			}
+			if g := gcv(rss, n, len(trial), cfg.Penalty); g < removeGCV {
+				removeGCV = g
+				removeIdx = i
+			}
+		}
+		if removeIdx < 0 {
+			break
+		}
+		current = append(current[:removeIdx], current[removeIdx+1:]...)
+		if removeGCV < bestGCV {
+			bestGCV = removeGCV
+			best = append([]term(nil), current...)
+		}
+	}
+	return best
+}
+
+// fitCoefficients solves least squares for the given basis and returns the
+// coefficients and RSS.
+func fitCoefficients(x [][]float64, y []float64, terms []term) ([]float64, float64, error) {
+	n := len(x)
+	design := mat.New(n, len(terms))
+	for i, row := range x {
+		for j, t := range terms {
+			design.Set(i, j, t.eval(row))
+		}
+	}
+	coef, err := mat.SolveRidge(design, y, 1e-10)
+	if err != nil {
+		return nil, 0, err
+	}
+	pred, err := design.MulVec(coef)
+	if err != nil {
+		return nil, 0, err
+	}
+	var rss float64
+	for i := range y {
+		d := y[i] - pred[i]
+		rss += d * d
+	}
+	return coef, rss, nil
+}
+
+// gcv is Friedman's generalized cross-validation criterion.
+func gcv(rss float64, n, nTerms int, penalty float64) float64 {
+	c := float64(nTerms) + penalty*float64(nTerms-1)/2
+	denom := 1 - c/float64(n)
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return rss / float64(n) / (denom * denom)
+}
+
+// Predict returns the model response for the feature vector x.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != len(m.Names) {
+		panic(fmt.Sprintf("mars: predicting with %d features, model has %d", len(x), len(m.Names)))
+	}
+	var s float64
+	for i, t := range m.terms {
+		s += m.Coef[i] * t.eval(x)
+	}
+	return s
+}
+
+// PredictAll returns predictions for each row of xs.
+func (m *Model) PredictAll(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// NumTerms returns the number of basis terms including the intercept.
+func (m *Model) NumTerms() int { return len(m.terms) }
+
+// RSquared returns R² on the given data.
+func (m *Model) RSquared(x [][]float64, y []float64) float64 {
+	return stats.RSquared(m.PredictAll(x), y)
+}
+
+// String renders the model equation like earth's summary.
+func (m *Model) String() string {
+	var b strings.Builder
+	b.WriteString("mars: y =")
+	for i, t := range m.terms {
+		if i > 0 {
+			b.WriteString(" +")
+		}
+		fmt.Fprintf(&b, " %.4g", m.Coef[i])
+		for _, h := range t.factors {
+			name := m.Names[h.feature]
+			if h.pos {
+				fmt.Fprintf(&b, "·h(%s−%.4g)", name, h.knot)
+			} else {
+				fmt.Fprintf(&b, "·h(%.4g−%s)", h.knot, name)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  [terms=%d GCV=%.4g R²=%.3f]", len(m.terms), m.GCV, m.TrainR2)
+	return b.String()
+}

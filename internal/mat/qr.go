@@ -1,0 +1,164 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned when a least-squares system has (numerically)
+// linearly dependent columns and cannot be solved without regularization.
+var ErrRankDeficient = errors.New("mat: rank-deficient system")
+
+// QR holds a Householder QR factorization of an m×n matrix (m ≥ n).
+// R is stored in the upper triangle of qr; the Householder vectors in the
+// lower triangle with their scaling factors in tau.
+type QR struct {
+	qr   *Matrix
+	tau  []float64
+	rows int
+	cols int
+}
+
+// NewQR computes the Householder QR factorization of a. a is not modified.
+func NewQR(a *Matrix) (*QR, error) {
+	if a.Rows() < a.Cols() {
+		return nil, fmt.Errorf("mat: QR requires rows >= cols, got %dx%d", a.Rows(), a.Cols())
+	}
+	m, n := a.Rows(), a.Cols()
+	q := &QR{qr: a.Clone(), tau: make([]float64, n), rows: m, cols: n}
+	for k := 0; k < n; k++ {
+		// Compute the norm of column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, q.qr.At(i, k))
+		}
+		if norm == 0 {
+			q.tau[k] = 0
+			continue
+		}
+		// Choose the reflector sign matching the diagonal to avoid
+		// cancellation in v_k = a_kk/norm + 1.
+		if q.qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			q.qr.Set(i, k, q.qr.At(i, k)/norm)
+		}
+		q.qr.Set(k, k, q.qr.At(k, k)+1)
+		q.tau[k] = -norm
+
+		// Apply the transform to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += q.qr.At(i, k) * q.qr.At(i, j)
+			}
+			s = -s / q.qr.At(k, k)
+			for i := k; i < m; i++ {
+				q.qr.Set(i, j, q.qr.At(i, j)+s*q.qr.At(i, k))
+			}
+		}
+	}
+	return q, nil
+}
+
+// RDiag returns the diagonal of R (the tau values), whose magnitudes signal
+// rank deficiency when near zero.
+func (q *QR) RDiag() []float64 {
+	out := make([]float64, q.cols)
+	copy(out, q.tau)
+	return out
+}
+
+// IsFullRank reports whether all diagonal entries of R exceed tol in
+// magnitude.
+func (q *QR) IsFullRank(tol float64) bool {
+	for _, d := range q.tau {
+		if math.Abs(d) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve finds x minimizing ‖a·x − b‖₂ using the stored factorization.
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != q.rows {
+		return nil, fmt.Errorf("mat: rhs length %d, want %d", len(b), q.rows)
+	}
+	if !q.IsFullRank(1e-12) {
+		return nil, ErrRankDeficient
+	}
+	y := make([]float64, q.rows)
+	copy(y, b)
+	// Apply Qᵀ to y.
+	for k := 0; k < q.cols; k++ {
+		if q.tau[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < q.rows; i++ {
+			s += q.qr.At(i, k) * y[i]
+		}
+		s = -s / q.qr.At(k, k)
+		for i := k; i < q.rows; i++ {
+			y[i] += s * q.qr.At(i, k)
+		}
+	}
+	// Back-substitute R·x = y.
+	x := make([]float64, q.cols)
+	for i := q.cols - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < q.cols; j++ {
+			s -= q.qr.At(i, j) * x[j]
+		}
+		x[i] = s / q.tau[i]
+	}
+	return x, nil
+}
+
+// R returns the upper-triangular factor as a cols×cols matrix.
+func (q *QR) R() *Matrix {
+	r := New(q.cols, q.cols)
+	for i := 0; i < q.cols; i++ {
+		r.Set(i, i, q.tau[i])
+		for j := i + 1; j < q.cols; j++ {
+			r.Set(i, j, q.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// SolveLeastSquares finds x minimizing ‖a·x − b‖₂.
+// It is a convenience wrapper over NewQR + Solve.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	q, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return q.Solve(b)
+}
+
+// SolveRidge solves the ridge-regularized least squares problem
+// minimizing ‖a·x − b‖² + λ‖x‖² by augmenting the system with √λ·I.
+func SolveRidge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("mat: negative ridge penalty %g", lambda)
+	}
+	if lambda == 0 {
+		return SolveLeastSquares(a, b)
+	}
+	m, n := a.Rows(), a.Cols()
+	aug := New(m+n, n)
+	for i := 0; i < m; i++ {
+		copy(aug.RawRow(i), a.RawRow(i))
+	}
+	sq := math.Sqrt(lambda)
+	for j := 0; j < n; j++ {
+		aug.Set(m+j, j, sq)
+	}
+	rhs := make([]float64, m+n)
+	copy(rhs, b)
+	return SolveLeastSquares(aug, rhs)
+}

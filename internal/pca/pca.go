@@ -1,0 +1,245 @@
+// Package pca implements principal component analysis with varimax rotation
+// and factor-loading interpretation, mirroring the R prcomp + varimax
+// combination the paper's toolchain uses for the "refinement with PCA" stage
+// (§4.2): reducing correlated counters to a few interpretable components and
+// reading each variable's contribution off its loadings.
+package pca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"blackforest/internal/mat"
+	"blackforest/internal/stats"
+)
+
+// Result holds a fitted PCA.
+type Result struct {
+	// Names are the input variable names, in column order.
+	Names []string
+	// Means and SDs are the standardization parameters applied per column.
+	Means []float64
+	SDs   []float64
+	// Loadings is the p×p matrix of eigenvectors (columns are components,
+	// sorted by descending eigenvalue). Loadings[i][j] is variable i's
+	// loading on component j.
+	Loadings *mat.Matrix
+	// Eigenvalues are the variances along each component, descending.
+	Eigenvalues []float64
+	// Scores is the n×p matrix of observations projected onto components.
+	Scores *mat.Matrix
+}
+
+// Fit runs PCA on the design matrix x (rows are observations, columns are
+// variables named by names). Columns are standardized to zero mean and unit
+// variance first, so PCA operates on the correlation matrix — appropriate
+// for counters with wildly different scales.
+func Fit(x [][]float64, names []string) (*Result, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("pca: empty input")
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("pca: no variables")
+	}
+	if len(names) != p {
+		return nil, fmt.Errorf("pca: %d names for %d variables", len(names), p)
+	}
+	if n < 2 {
+		return nil, errors.New("pca: need at least 2 observations")
+	}
+
+	// Standardize columns.
+	z := mat.New(n, p)
+	means := make([]float64, p)
+	sds := make([]float64, p)
+	col := make([]float64, n)
+	for j := 0; j < p; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = x[i][j]
+		}
+		zc, m, s := stats.Standardize(col)
+		means[j], sds[j] = m, s
+		for i := 0; i < n; i++ {
+			z.Set(i, j, zc[i])
+		}
+	}
+
+	// Correlation matrix = ZᵀZ/(n−1).
+	zt := z.T()
+	c, err := zt.Mul(z)
+	if err != nil {
+		return nil, err
+	}
+	c = c.Scale(1 / float64(n-1))
+
+	eig, err := mat.SymEigen(c)
+	if err != nil {
+		return nil, fmt.Errorf("pca: eigendecomposition: %w", err)
+	}
+	// Numerical noise can make tiny eigenvalues slightly negative.
+	for i, v := range eig.Values {
+		if v < 0 {
+			eig.Values[i] = 0
+		}
+	}
+
+	scores, err := z.Mul(eig.Vectors)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Names:       append([]string(nil), names...),
+		Means:       means,
+		SDs:         sds,
+		Loadings:    eig.Vectors,
+		Eigenvalues: eig.Values,
+		Scores:      scores,
+	}, nil
+}
+
+// ExplainedVariance returns each component's share of total variance.
+func (r *Result) ExplainedVariance() []float64 {
+	var total float64
+	for _, v := range r.Eigenvalues {
+		total += v
+	}
+	out := make([]float64, len(r.Eigenvalues))
+	if total == 0 {
+		return out
+	}
+	for i, v := range r.Eigenvalues {
+		out[i] = v / total
+	}
+	return out
+}
+
+// ComponentsFor returns the smallest k such that the first k components
+// explain at least the given fraction of total variance (e.g. 0.96).
+func (r *Result) ComponentsFor(fraction float64) int {
+	var cum float64
+	for i, share := range r.ExplainedVariance() {
+		cum += share
+		if cum >= fraction {
+			return i + 1
+		}
+	}
+	return len(r.Eigenvalues)
+}
+
+// Project maps a raw observation (unstandardized, in input column order)
+// onto the first k components.
+func (r *Result) Project(x []float64, k int) ([]float64, error) {
+	if len(x) != len(r.Names) {
+		return nil, fmt.Errorf("pca: projecting %d values, fitted on %d variables", len(x), len(r.Names))
+	}
+	if k <= 0 || k > len(r.Eigenvalues) {
+		return nil, fmt.Errorf("pca: k=%d out of range [1,%d]", k, len(r.Eigenvalues))
+	}
+	out := make([]float64, k)
+	for j := 0; j < k; j++ {
+		var s float64
+		for i := range x {
+			s += (x[i] - r.Means[i]) / r.SDs[i] * r.Loadings.At(i, j)
+		}
+		out[j] = s
+	}
+	return out, nil
+}
+
+// Loading is one variable's loading on one component.
+type Loading struct {
+	Variable string
+	Value    float64
+}
+
+// ComponentLoadings returns variable loadings for component j, sorted by
+// descending absolute value — the paper's factor-loadings interpretation
+// aid ("positively and strongly connected to PC2...").
+func (r *Result) ComponentLoadings(j int) ([]Loading, error) {
+	if j < 0 || j >= len(r.Eigenvalues) {
+		return nil, fmt.Errorf("pca: component %d out of range [0,%d)", j, len(r.Eigenvalues))
+	}
+	out := make([]Loading, len(r.Names))
+	for i, name := range r.Names {
+		out[i] = Loading{Variable: name, Value: r.Loadings.At(i, j)}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		av, bv := math.Abs(out[a].Value), math.Abs(out[b].Value)
+		if av != bv {
+			return av > bv
+		}
+		return out[a].Variable < out[b].Variable
+	})
+	return out, nil
+}
+
+// Varimax rotates the first k components' loadings to maximize the varimax
+// criterion (Kaiser, 1958), concentrating each variable's weight on few
+// components for interpretability. It returns a new p×k loadings matrix;
+// the receiver is unchanged.
+func (r *Result) Varimax(k int) (*mat.Matrix, error) {
+	p := len(r.Names)
+	if k <= 0 || k > len(r.Eigenvalues) {
+		return nil, fmt.Errorf("pca: varimax k=%d out of range [1,%d]", k, len(r.Eigenvalues))
+	}
+	// Scale eigenvectors by sqrt(eigenvalue) to get factor loadings.
+	l := mat.New(p, k)
+	for j := 0; j < k; j++ {
+		s := math.Sqrt(r.Eigenvalues[j])
+		for i := 0; i < p; i++ {
+			l.Set(i, j, r.Loadings.At(i, j)*s)
+		}
+	}
+	if k == 1 {
+		return l, nil
+	}
+
+	const maxIter = 100
+	const tol = 1e-8
+	for iter := 0; iter < maxIter; iter++ {
+		var rotated float64
+		for a := 0; a < k-1; a++ {
+			for b := a + 1; b < k; b++ {
+				// Planar rotation angle maximizing the varimax
+				// criterion for columns a, b.
+				var u, v, num, den float64
+				var sumU, sumV, sumUV, sumU2V2 float64
+				for i := 0; i < p; i++ {
+					xa, xb := l.At(i, a), l.At(i, b)
+					u = xa*xa - xb*xb
+					v = 2 * xa * xb
+					sumU += u
+					sumV += v
+					sumUV += u * v
+					sumU2V2 += u*u - v*v
+				}
+				pf := float64(p)
+				num = 2 * (pf*sumUV - sumU*sumV)
+				den = pf*sumU2V2 - (sumU*sumU - sumV*sumV)
+				if math.Abs(num) < tol && math.Abs(den) < tol {
+					continue
+				}
+				phi := 0.25 * math.Atan2(num, den)
+				if math.Abs(phi) < tol {
+					continue
+				}
+				c, s := math.Cos(phi), math.Sin(phi)
+				for i := 0; i < p; i++ {
+					xa, xb := l.At(i, a), l.At(i, b)
+					l.Set(i, a, c*xa+s*xb)
+					l.Set(i, b, -s*xa+c*xb)
+				}
+				rotated += math.Abs(phi)
+			}
+		}
+		if rotated < tol {
+			break
+		}
+	}
+	return l, nil
+}

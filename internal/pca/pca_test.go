@@ -1,0 +1,209 @@
+package pca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"blackforest/internal/stats"
+)
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// correlated2D generates points stretched along the (1,1) diagonal.
+func correlated2D(n int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	var out [][]float64
+	for i := 0; i < n; i++ {
+		base := rng.NormFloat64() * 5
+		out = append(out, []float64{
+			base + rng.NormFloat64()*0.3,
+			base + rng.NormFloat64()*0.3,
+		})
+	}
+	return out
+}
+
+func TestFitDiagonalStructure(t *testing.T) {
+	x := correlated2D(200, 1)
+	r, err := Fit(x, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.ExplainedVariance()
+	if shares[0] < 0.95 {
+		t.Fatalf("PC1 explains %.2f, want > 0.95 for near-collinear data", shares[0])
+	}
+	// PC1 direction ≈ (±1/√2, ±1/√2), components equal in magnitude.
+	l0, l1 := r.Loadings.At(0, 0), r.Loadings.At(1, 0)
+	if !eq(math.Abs(l0), math.Abs(l1), 0.05) {
+		t.Fatalf("PC1 loadings not symmetric: %v %v", l0, l1)
+	}
+	if math.Signbit(l0) != math.Signbit(l1) {
+		t.Fatal("PC1 loadings should share sign for positively correlated data")
+	}
+}
+
+func TestExplainedVarianceSumsToOne(t *testing.T) {
+	x := correlated2D(100, 2)
+	r, err := Fit(x, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range r.ExplainedVariance() {
+		sum += s
+	}
+	if !eq(sum, 1, 1e-9) {
+		t.Fatalf("variance shares sum to %v", sum)
+	}
+}
+
+func TestComponentsFor(t *testing.T) {
+	x := correlated2D(100, 3)
+	r, _ := Fit(x, []string{"a", "b"})
+	if r.ComponentsFor(0.9) != 1 {
+		t.Fatalf("near-collinear data needs %d components for 90%%", r.ComponentsFor(0.9))
+	}
+	if r.ComponentsFor(1.0) != 2 {
+		t.Fatal("full variance needs all components")
+	}
+}
+
+func TestScoresUncorrelated(t *testing.T) {
+	x := correlated2D(300, 4)
+	r, _ := Fit(x, []string{"a", "b"})
+	s0 := r.Scores.Col(0)
+	s1 := r.Scores.Col(1)
+	if c := stats.Correlation(s0, s1); math.Abs(c) > 0.05 {
+		t.Fatalf("component scores correlated: %v", c)
+	}
+}
+
+func TestProject(t *testing.T) {
+	x := correlated2D(100, 5)
+	r, _ := Fit(x, []string{"a", "b"})
+	// Projecting training points must reproduce the score rows.
+	got, err := r.Project(x[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(got[0], r.Scores.At(0, 0), 1e-9) || !eq(got[1], r.Scores.At(0, 1), 1e-9) {
+		t.Fatalf("projection %v, scores %v %v", got, r.Scores.At(0, 0), r.Scores.At(0, 1))
+	}
+	if _, err := r.Project([]float64{1}, 1); err == nil {
+		t.Fatal("wrong input width accepted")
+	}
+	if _, err := r.Project(x[0], 3); err == nil {
+		t.Fatal("too many components accepted")
+	}
+}
+
+func TestComponentLoadingsSorted(t *testing.T) {
+	x := correlated2D(100, 6)
+	r, _ := Fit(x, []string{"a", "b"})
+	ld, err := r.ComponentLoadings(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ld) != 2 {
+		t.Fatalf("loadings count %d", len(ld))
+	}
+	if math.Abs(ld[0].Value) < math.Abs(ld[1].Value) {
+		t.Fatal("loadings not sorted by |value|")
+	}
+	if _, err := r.ComponentLoadings(5); err == nil {
+		t.Fatal("bad component index accepted")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, []string{"a", "b"}); err == nil {
+		t.Fatal("single observation accepted")
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, []string{"a", "b"}); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+}
+
+func TestVarimaxPreservesCommunalities(t *testing.T) {
+	// Varimax is an orthogonal rotation: each variable's squared-loading
+	// sum over the rotated components must equal the unrotated one.
+	rng := stats.NewRNG(7)
+	var x [][]float64
+	for i := 0; i < 150; i++ {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		x = append(x, []float64{
+			a + 0.1*rng.NormFloat64(),
+			a + 0.1*rng.NormFloat64(),
+			b + 0.1*rng.NormFloat64(),
+			b + 0.1*rng.NormFloat64(),
+		})
+	}
+	r, err := Fit(x, []string{"a1", "a2", "b1", "b2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 2
+	rot, err := r.Varimax(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		var before, after float64
+		for j := 0; j < k; j++ {
+			l := r.Loadings.At(i, j) * math.Sqrt(r.Eigenvalues[j])
+			before += l * l
+			after += rot.At(i, j) * rot.At(i, j)
+		}
+		if !eq(before, after, 1e-6) {
+			t.Fatalf("communalities changed: %v → %v", before, after)
+		}
+	}
+	// Varimax should concentrate each variable on one factor: the max
+	// |loading| per row should dominate.
+	for i := 0; i < 4; i++ {
+		big := math.Max(math.Abs(rot.At(i, 0)), math.Abs(rot.At(i, 1)))
+		small := math.Min(math.Abs(rot.At(i, 0)), math.Abs(rot.At(i, 1)))
+		if small > big/2 {
+			t.Fatalf("row %d not simplified: %v vs %v", i, big, small)
+		}
+	}
+	if _, err := r.Varimax(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// Property: loadings matrix columns are orthonormal.
+func TestLoadingsOrthonormal(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := correlated2D(60, seed)
+		r, err := Fit(x, []string{"a", "b"})
+		if err != nil {
+			return false
+		}
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				var dot float64
+				for k := 0; k < 2; k++ {
+					dot += r.Loadings.At(k, a) * r.Loadings.At(k, b)
+				}
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if !eq(dot, want, 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package profiler
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"blackforest/internal/dataset"
+)
+
+// ToFrame converts a batch of profiles into the modeling data frame: one
+// row per profile with problem characteristics, counter metrics, and the
+// response columns "time_ms" and "power_w". Profiles must share a device
+// (and hence a metric vocabulary); a missing characteristic or metric is an
+// error so schema bugs surface early.
+func ToFrame(profiles []*Profile) (*dataset.Frame, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("profiler: no profiles to tabulate")
+	}
+	first := profiles[0]
+	charNames := sortedKeys(first.Characteristics)
+	metricNames := sortedKeys(first.Metrics)
+
+	f := dataset.New()
+	for _, p := range profiles {
+		if p.Device != first.Device {
+			return nil, fmt.Errorf("profiler: mixed devices %s and %s in one frame", first.Device, p.Device)
+		}
+		row := make(map[string]float64, len(charNames)+len(metricNames)+1)
+		for _, n := range charNames {
+			v, ok := p.Characteristics[n]
+			if !ok {
+				return nil, fmt.Errorf("profiler: profile missing characteristic %q", n)
+			}
+			row[n] = v
+		}
+		for _, n := range metricNames {
+			v, ok := p.Metrics[n]
+			if !ok {
+				return nil, fmt.Errorf("profiler: profile missing metric %q", n)
+			}
+			row[n] = v
+		}
+		row["time_ms"] = p.TimeMS
+		row["power_w"] = p.PowerW
+		if err := f.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// WriteNvprofCSV writes the profile in an nvprof --csv like layout:
+// one "metric,value" row per counter, preceded by identification rows.
+func (pr *Profile) WriteNvprofCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "==PROF== device,%s\n==PROF== kernel,%s\n==PROF== time_ms,%s\n",
+		pr.Device, pr.Workload, strconv.FormatFloat(pr.TimeMS, 'g', -1, 64)); err != nil {
+		return err
+	}
+	for _, name := range pr.MetricNames() {
+		if _, err := fmt.Fprintf(w, "%s,%s\n", name,
+			strconv.FormatFloat(pr.Metrics[name], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,182 @@
+// Package profiler is BlackForest's nvprof stand-in: it runs a workload
+// (a sequence of kernel launches) on a simulated device, aggregates the raw
+// event counts across launches, derives the nvprof-style metrics, and
+// reports them together with the measured execution time.
+//
+// Like a real profiler, it injects a small amount of multiplicative
+// measurement noise into the reported time (seeded, reproducible), so the
+// statistical pipeline downstream never sees an implausibly clean response.
+package profiler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"blackforest/internal/counters"
+	"blackforest/internal/gpusim"
+	"blackforest/internal/stats"
+)
+
+// Launch is one kernel launch of a workload.
+type Launch struct {
+	// Label names the kernel for reporting (e.g. "reduce2", "nw_kernel1").
+	Label  string
+	Config gpusim.LaunchConfig
+	Kernel gpusim.KernelFunc
+}
+
+// Workload is a profilable application: it plans its kernel launches for a
+// device and exposes the problem characteristics the paper injects as
+// predictors (e.g. matrix size, sequence length).
+type Workload interface {
+	// Name identifies the workload (e.g. "matmul").
+	Name() string
+	// Plan returns the launch sequence. Functional state (input/output
+	// buffers) is captured in the kernel closures.
+	Plan(dev *gpusim.Device) ([]Launch, error)
+	// Characteristics returns the problem parameters as named values.
+	Characteristics() map[string]float64
+}
+
+// Options configures profiling.
+type Options struct {
+	// MaxSimBlocks caps detailed simulation per launch; 0 simulates all
+	// blocks (needed for functional verification, slow for big grids).
+	MaxSimBlocks int
+	// NoiseSigma is the standard deviation of the lognormal measurement
+	// noise applied to the run time. Negative disables noise; 0 selects
+	// the default of 0.015 (≈1.5%).
+	NoiseSigma float64
+	// Seed drives the noise generator.
+	Seed uint64
+}
+
+// Profile is the result of profiling one workload run: the paper's unit of
+// observation (one row of the training data).
+type Profile struct {
+	Workload        string
+	Device          string
+	Characteristics map[string]float64
+	// Metrics maps counter/metric names (per the device architecture) to
+	// values aggregated over all launches.
+	Metrics map[string]float64
+	// TimeMS is the measured (noisy) total execution time — the response
+	// variable of the paper's models.
+	TimeMS float64
+	// ModelTimeMS is the noise-free modeled time.
+	ModelTimeMS float64
+	// PowerW is the measured (noisy) average power draw over the run —
+	// the alternative response variable of the paper's §7 extension.
+	PowerW float64
+	// EnergyMJ is the modeled total energy in millijoules.
+	EnergyMJ float64
+	// Launches is the number of kernel launches executed.
+	Launches int
+	// Bottlenecks counts launches per binding bottleneck term.
+	Bottlenecks map[string]int
+}
+
+// Profiler profiles workloads on one device.
+type Profiler struct {
+	dev *gpusim.Device
+	opt Options
+	rng *stats.RNG
+}
+
+// New builds a profiler for the device.
+func New(dev *gpusim.Device, opt Options) *Profiler {
+	if opt.NoiseSigma == 0 {
+		opt.NoiseSigma = 0.015
+	}
+	if opt.NoiseSigma < 0 {
+		opt.NoiseSigma = 0
+	}
+	return &Profiler{dev: dev, opt: opt, rng: stats.NewRNG(opt.Seed ^ 0x70726f66)}
+}
+
+// Device returns the profiled device.
+func (p *Profiler) Device() *gpusim.Device { return p.dev }
+
+// Run profiles one workload run end to end.
+func (p *Profiler) Run(w Workload) (*Profile, error) {
+	launches, err := w.Plan(p.dev)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: planning %s: %w", w.Name(), err)
+	}
+	if len(launches) == 0 {
+		return nil, errors.New("profiler: workload planned zero launches")
+	}
+
+	sim := gpusim.NewSimulator(p.dev)
+	var agg counters.Sample
+	var occWeighted, smWeighted, energyMJ float64
+	bottlenecks := make(map[string]int)
+	for _, l := range launches {
+		res, err := sim.Launch(l.Config, l.Kernel, gpusim.LaunchOptions{MaxSimBlocks: p.opt.MaxSimBlocks})
+		if err != nil {
+			return nil, fmt.Errorf("profiler: launching %s/%s: %w", w.Name(), l.Label, err)
+		}
+		agg.Raw.Add(&res.Counters)
+		agg.Cycles += res.Cycles
+		agg.TimeMS += res.TimeMS
+		occWeighted += res.AchievedOccupancy * res.Cycles
+		smWeighted += res.Occupancy.TailUtilization * res.Cycles
+		energyMJ += res.EnergyMJ
+		bottlenecks[res.Bottleneck]++
+	}
+	if agg.Cycles > 0 {
+		agg.AchievedOccupancy = occWeighted / agg.Cycles
+		agg.SMEfficiency = smWeighted / agg.Cycles
+	}
+
+	modelTime := agg.TimeMS
+	measured := modelTime
+	power := energyMJ / modelTime // mJ over ms = W
+	if p.opt.NoiseSigma > 0 {
+		measured *= math.Exp(p.opt.NoiseSigma * p.rng.NormFloat64())
+		power *= math.Exp(p.opt.NoiseSigma * p.rng.NormFloat64())
+	}
+	agg.TimeMS = measured
+
+	return &Profile{
+		Workload:        w.Name(),
+		Device:          p.dev.Name,
+		Characteristics: w.Characteristics(),
+		Metrics:         counters.Derive(p.dev, agg),
+		TimeMS:          measured,
+		ModelTimeMS:     modelTime,
+		PowerW:          power,
+		EnergyMJ:        energyMJ,
+		Launches:        len(launches),
+		Bottlenecks:     bottlenecks,
+	}, nil
+}
+
+// MetricNames returns the profile's metric names, sorted.
+func (pr *Profile) MetricNames() []string {
+	names := make([]string, 0, len(pr.Metrics))
+	for n := range pr.Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DominantBottleneck returns the bottleneck term that bound the most
+// launches.
+func (pr *Profile) DominantBottleneck() string {
+	best, bestN := "", -1
+	keys := make([]string, 0, len(pr.Bottlenecks))
+	for k := range pr.Bottlenecks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if pr.Bottlenecks[k] > bestN {
+			best, bestN = k, pr.Bottlenecks[k]
+		}
+	}
+	return best
+}

@@ -1,0 +1,186 @@
+package profiler
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"blackforest/internal/gpusim"
+)
+
+// fakeWorkload is a minimal Workload for profiler tests.
+type fakeWorkload struct {
+	name     string
+	launches int
+	ops      int
+	size     float64
+}
+
+func (f *fakeWorkload) Name() string { return f.name }
+
+func (f *fakeWorkload) Characteristics() map[string]float64 {
+	return map[string]float64{"size": f.size}
+}
+
+func (f *fakeWorkload) Plan(dev *gpusim.Device) ([]Launch, error) {
+	var out []Launch
+	for i := 0; i < f.launches; i++ {
+		out = append(out, Launch{
+			Label: f.name,
+			Config: gpusim.LaunchConfig{
+				GridDimX: 8, GridDimY: 1, BlockDimX: 64, BlockDimY: 1,
+				RegsPerThread: 8, SharedMemPerBlock: 128,
+			},
+			Kernel: func(w *gpusim.Warp) {
+				w.FloatOps(gpusim.FullMask(), f.ops)
+				var addrs [gpusim.WarpSize]uint64
+				for l := range addrs {
+					addrs[l] = uint64(4 * l)
+				}
+				w.GlobalLoad(gpusim.FullMask(), &addrs, 4)
+			},
+		})
+	}
+	return out, nil
+}
+
+func device(t *testing.T) *gpusim.Device {
+	t.Helper()
+	d, err := gpusim.LookupDevice("GTX580")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	p := New(device(t), Options{NoiseSigma: -1})
+	prof, err := p.Run(&fakeWorkload{name: "fake", launches: 3, ops: 100, size: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Launches != 3 || prof.Workload != "fake" || prof.Device != "GTX580" {
+		t.Fatalf("profile header wrong: %+v", prof)
+	}
+	if prof.TimeMS <= 0 {
+		t.Fatal("non-positive time")
+	}
+	if prof.Characteristics["size"] != 42 {
+		t.Fatal("characteristics not propagated")
+	}
+	if prof.Metrics["inst_executed"] <= 0 {
+		t.Fatal("no instructions derived")
+	}
+	if prof.DominantBottleneck() == "" {
+		t.Fatal("no bottleneck recorded")
+	}
+	if len(prof.MetricNames()) < 20 {
+		t.Fatalf("only %d metrics derived", len(prof.MetricNames()))
+	}
+}
+
+func TestNoiseReproducibleAndBounded(t *testing.T) {
+	mk := func(seed uint64) *Profile {
+		p := New(device(t), Options{Seed: seed})
+		prof, err := p.Run(&fakeWorkload{name: "fake", launches: 1, ops: 50, size: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof
+	}
+	a, b := mk(5), mk(5)
+	if a.TimeMS != b.TimeMS {
+		t.Fatal("same seed produced different measured times")
+	}
+	c := mk(6)
+	if a.TimeMS == c.TimeMS {
+		t.Fatal("different seeds produced identical noise")
+	}
+	// Noise is small and multiplicative.
+	rel := math.Abs(a.TimeMS-a.ModelTimeMS) / a.ModelTimeMS
+	if rel > 0.2 {
+		t.Fatalf("noise too large: %v", rel)
+	}
+}
+
+func TestNoNoiseWhenDisabled(t *testing.T) {
+	p := New(device(t), Options{NoiseSigma: -1})
+	prof, err := p.Run(&fakeWorkload{name: "fake", launches: 1, ops: 50, size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TimeMS != prof.ModelTimeMS {
+		t.Fatal("noise applied despite NoiseSigma < 0")
+	}
+}
+
+func TestRunEmptyPlan(t *testing.T) {
+	p := New(device(t), Options{})
+	if _, err := p.Run(&fakeWorkload{name: "empty", launches: 0}); err == nil {
+		t.Fatal("zero-launch workload accepted")
+	}
+}
+
+func TestToFrame(t *testing.T) {
+	p := New(device(t), Options{NoiseSigma: -1})
+	var profiles []*Profile
+	for _, size := range []float64{1, 2, 3} {
+		prof, err := p.Run(&fakeWorkload{name: "fake", launches: 1, ops: int(size * 10), size: size})
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, prof)
+	}
+	frame, err := ToFrame(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.NumRows() != 3 {
+		t.Fatalf("frame rows %d", frame.NumRows())
+	}
+	if !frame.Has("time_ms") || !frame.Has("size") || !frame.Has("inst_executed") {
+		t.Fatalf("frame schema missing columns: %v", frame.Names())
+	}
+	if _, err := ToFrame(nil); err == nil {
+		t.Fatal("empty profile list accepted")
+	}
+}
+
+func TestToFrameRejectsMixedDevices(t *testing.T) {
+	pa := New(device(t), Options{NoiseSigma: -1})
+	k, err := gpusim.LookupDevice("K20m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := New(k, Options{NoiseSigma: -1})
+	a, err := pa.Run(&fakeWorkload{name: "fake", launches: 1, ops: 10, size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pb.Run(&fakeWorkload{name: "fake", launches: 1, ops: 10, size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ToFrame([]*Profile{a, b}); err == nil {
+		t.Fatal("mixed-device frame accepted")
+	}
+}
+
+func TestWriteNvprofCSV(t *testing.T) {
+	p := New(device(t), Options{NoiseSigma: -1})
+	prof, err := p.Run(&fakeWorkload{name: "fake", launches: 1, ops: 10, size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := prof.WriteNvprofCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "==PROF== device,GTX580") {
+		t.Fatal("CSV header missing")
+	}
+	if !strings.Contains(out, "inst_executed,") {
+		t.Fatal("CSV metrics missing")
+	}
+}

@@ -1,0 +1,82 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ExportedNode is the serializable form of one tree node.
+type ExportedNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      int32   `json:"l,omitempty"`
+	Right     int32   `json:"r,omitempty"`
+	Value     float64 `json:"v"`
+	Count     int     `json:"n"`
+}
+
+// ExportedTree is the serializable form of a fitted tree.
+type ExportedTree struct {
+	Nodes      []ExportedNode `json:"nodes"`
+	NFeatures  int            `json:"features"`
+	MinResp    float64        `json:"min"`
+	MaxResp    float64        `json:"max"`
+	PurityGain []float64      `json:"purity,omitempty"`
+}
+
+// Export returns the tree in serializable form.
+func (t *Tree) Export() *ExportedTree {
+	e := &ExportedTree{
+		Nodes:      make([]ExportedNode, len(t.nodes)),
+		NFeatures:  t.nFeatures,
+		MinResp:    t.minResp,
+		MaxResp:    t.maxResp,
+		PurityGain: append([]float64(nil), t.purityGain...),
+	}
+	for i, n := range t.nodes {
+		e.Nodes[i] = ExportedNode{
+			Feature: n.feature, Threshold: n.threshold,
+			Left: n.left, Right: n.right,
+			Value: n.value, Count: n.count,
+		}
+	}
+	return e
+}
+
+// Import reconstructs a tree from its exported form, validating the node
+// graph so a corrupted file cannot cause out-of-range walks.
+func Import(e *ExportedTree) (*Tree, error) {
+	if len(e.Nodes) == 0 {
+		return nil, errors.New("rtree: exported tree has no nodes")
+	}
+	if e.NFeatures <= 0 {
+		return nil, fmt.Errorf("rtree: invalid feature count %d", e.NFeatures)
+	}
+	t := &Tree{
+		nodes:      make([]node, len(e.Nodes)),
+		nFeatures:  e.NFeatures,
+		minResp:    e.MinResp,
+		maxResp:    e.MaxResp,
+		purityGain: append([]float64(nil), e.PurityGain...),
+	}
+	if t.purityGain == nil {
+		t.purityGain = make([]float64, e.NFeatures)
+	}
+	for i, n := range e.Nodes {
+		if n.Feature >= e.NFeatures {
+			return nil, fmt.Errorf("rtree: node %d splits on feature %d of %d", i, n.Feature, e.NFeatures)
+		}
+		if n.Feature >= 0 {
+			if n.Left <= 0 || int(n.Left) >= len(e.Nodes) ||
+				n.Right <= 0 || int(n.Right) >= len(e.Nodes) {
+				return nil, fmt.Errorf("rtree: node %d has invalid children (%d, %d)", i, n.Left, n.Right)
+			}
+		}
+		t.nodes[i] = node{
+			feature: n.Feature, threshold: n.Threshold,
+			left: n.Left, right: n.Right,
+			value: n.Value, count: n.Count,
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,326 @@
+// Package rtree implements CART regression trees (Breiman et al., 1984),
+// the base learner of BlackForest's random forest. Trees are grown by greedy
+// binary splitting that minimizes the within-node sum of squared deviations
+// (equation 3 of the paper), with the leaf prediction being the mean response
+// of the region (equation 1).
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"blackforest/internal/stats"
+)
+
+// Params controls tree growth.
+type Params struct {
+	// MinNodeSize is the minimum number of samples in a node eligible for
+	// splitting; nodes smaller than this become leaves. The paper (and R's
+	// randomForest in regression mode) uses 5.
+	MinNodeSize int
+	// MaxDepth caps tree depth; 0 means unlimited (grow to MinNodeSize).
+	MaxDepth int
+	// MTry is the number of predictors sampled (without replacement) as
+	// split candidates at each node; 0 means all predictors (plain CART).
+	MTry int
+	// RNG supplies randomness for MTry subsetting. Required when MTry > 0.
+	RNG *stats.RNG
+}
+
+// DefaultParams returns the parameters used by the paper: node size 5,
+// unlimited depth, all features considered (MTry is set by the forest).
+func DefaultParams() Params {
+	return Params{MinNodeSize: 5}
+}
+
+// node is one tree node in the flattened node array. Leaves have
+// feature == -1.
+type node struct {
+	feature   int     // split feature index, or -1 for a leaf
+	threshold float64 // split point s: x[feature] <= s goes left
+	left      int32   // index of the left child in Tree.nodes
+	right     int32   // index of the right child
+	value     float64 // mean response of samples reaching this node
+	count     int     // number of training samples at this node
+}
+
+// Tree is a fitted regression tree.
+type Tree struct {
+	nodes      []node
+	nFeatures  int
+	minResp    float64 // smallest training response (prediction lower bound)
+	maxResp    float64 // largest training response (prediction upper bound)
+	purityGain []float64
+}
+
+// Fit grows a regression tree on rows X (each of equal length) and
+// responses y, using only the sample indices in idx (with multiplicity, as
+// produced by bootstrap sampling). If idx is nil, all rows are used.
+func Fit(x [][]float64, y []float64, idx []int, p Params) (*Tree, error) {
+	if len(x) == 0 {
+		return nil, errors.New("rtree: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("rtree: %d rows but %d responses", len(x), len(y))
+	}
+	nf := len(x[0])
+	if nf == 0 {
+		return nil, errors.New("rtree: no features")
+	}
+	for i, row := range x {
+		if len(row) != nf {
+			return nil, fmt.Errorf("rtree: ragged row %d (%d features, want %d)", i, len(row), nf)
+		}
+	}
+	if p.MinNodeSize <= 0 {
+		p.MinNodeSize = 5
+	}
+	if p.MTry < 0 || p.MTry > nf {
+		return nil, fmt.Errorf("rtree: mtry %d out of range [0,%d]", p.MTry, nf)
+	}
+	if p.MTry > 0 && p.RNG == nil {
+		return nil, errors.New("rtree: MTry > 0 requires an RNG")
+	}
+	if idx == nil {
+		idx = make([]int, len(x))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	if len(idx) == 0 {
+		return nil, errors.New("rtree: empty sample index set")
+	}
+
+	t := &Tree{nFeatures: nf, purityGain: make([]float64, nf)}
+	t.minResp, t.maxResp = math.Inf(1), math.Inf(-1)
+	for _, i := range idx {
+		if y[i] < t.minResp {
+			t.minResp = y[i]
+		}
+		if y[i] > t.maxResp {
+			t.maxResp = y[i]
+		}
+	}
+
+	b := &builder{x: x, y: y, p: p, tree: t}
+	work := make([]int, len(idx))
+	copy(work, idx)
+	b.grow(work, 0)
+	return t, nil
+}
+
+// builder carries shared state during recursive growth.
+type builder struct {
+	x    [][]float64
+	y    []float64
+	p    Params
+	tree *Tree
+}
+
+// grow builds the subtree over samples idx at the given depth and returns
+// the node's index in the flattened array.
+func (b *builder) grow(idx []int, depth int) int32 {
+	me := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, node{feature: -1})
+
+	var sum float64
+	for _, i := range idx {
+		sum += b.y[i]
+	}
+	mean := sum / float64(len(idx))
+	b.tree.nodes[me].value = mean
+	b.tree.nodes[me].count = len(idx)
+
+	if len(idx) < b.p.MinNodeSize*2 || (b.p.MaxDepth > 0 && depth >= b.p.MaxDepth) {
+		return me
+	}
+
+	feat, thresh, gain, ok := b.bestSplit(idx, mean)
+	if !ok {
+		return me
+	}
+
+	left := idx[:0:0]
+	right := idx[:0:0]
+	for _, i := range idx {
+		if b.x[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return me // degenerate split; keep as leaf
+	}
+
+	b.tree.purityGain[feat] += gain
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.tree.nodes[me].feature = feat
+	b.tree.nodes[me].threshold = thresh
+	b.tree.nodes[me].left = l
+	b.tree.nodes[me].right = r
+	return me
+}
+
+// bestSplit scans candidate features for the split minimizing the summed
+// within-child SSE. It returns the feature, threshold, the SSE decrease
+// relative to the unsplit node, and whether any valid split was found.
+func (b *builder) bestSplit(idx []int, mean float64) (feat int, thresh, gain float64, ok bool) {
+	n := len(idx)
+	var parentSSE float64
+	for _, i := range idx {
+		d := b.y[i] - mean
+		parentSSE += d * d
+	}
+	if parentSSE <= 0 {
+		return 0, 0, 0, false // node is pure
+	}
+
+	candidates := b.candidateFeatures()
+	order := make([]int, n)
+	bestSSE := math.Inf(1)
+	for _, f := range candidates {
+		copy(order, idx)
+		sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
+
+		// Scan splits with running sums: left prefix vs right suffix.
+		var sumL, sqL float64
+		sumR, sqR := 0.0, 0.0
+		for _, i := range order {
+			sumR += b.y[i]
+			sqR += b.y[i] * b.y[i]
+		}
+		for k := 0; k < n-1; k++ {
+			yi := b.y[order[k]]
+			sumL += yi
+			sqL += yi * yi
+			sumR -= yi
+			sqR -= yi * yi
+			// Cannot split between identical feature values.
+			if b.x[order[k]][f] == b.x[order[k+1]][f] {
+				continue
+			}
+			nl, nr := float64(k+1), float64(n-k-1)
+			sse := (sqL - sumL*sumL/nl) + (sqR - sumR*sumR/nr)
+			if sse < bestSSE {
+				bestSSE = sse
+				feat = f
+				thresh = (b.x[order[k]][f] + b.x[order[k+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	if !ok {
+		return 0, 0, 0, false
+	}
+	gain = parentSSE - bestSSE
+	if gain <= 0 {
+		return 0, 0, 0, false
+	}
+	return feat, thresh, gain, true
+}
+
+// candidateFeatures returns the feature indices to consider at this node:
+// all of them for plain CART, or MTry sampled without replacement for RF.
+func (b *builder) candidateFeatures() []int {
+	nf := b.tree.nFeatures
+	if b.p.MTry == 0 || b.p.MTry >= nf {
+		all := make([]int, nf)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return b.p.RNG.SampleWithoutReplacement(nf, b.p.MTry)
+}
+
+// Predict returns the tree's response for the feature vector x.
+// It panics if x has the wrong length.
+func (t *Tree) Predict(x []float64) float64 {
+	if len(x) != t.nFeatures {
+		panic(fmt.Sprintf("rtree: predicting with %d features, tree has %d", len(x), t.nFeatures))
+	}
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// NumFeatures returns the number of predictors the tree was trained on.
+func (t *Tree) NumFeatures() int { return t.nFeatures }
+
+// NumNodes returns the total node count (internal + leaves).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumLeaves returns the number of terminal nodes.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	for i := range t.nodes {
+		if t.nodes[i].feature < 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Depth returns the maximum root-to-leaf depth (a single leaf has depth 0).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}
+
+// ResponseRange returns the [min, max] of training responses; every
+// prediction lies within this interval (leaves are training means).
+func (t *Tree) ResponseRange() (lo, hi float64) { return t.minResp, t.maxResp }
+
+// PurityGain returns, per feature, the total SSE decrease contributed by
+// splits on that feature (R's IncNodePurity). The slice is a copy.
+func (t *Tree) PurityGain() []float64 {
+	out := make([]float64, len(t.purityGain))
+	copy(out, t.purityGain)
+	return out
+}
+
+// String renders the tree structure for debugging.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(i int32, indent string)
+	walk = func(i int32, indent string) {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			fmt.Fprintf(&b, "%sleaf value=%.4g n=%d\n", indent, n.value, n.count)
+			return
+		}
+		fmt.Fprintf(&b, "%sx[%d] <= %.4g (n=%d)\n", indent, n.feature, n.threshold, n.count)
+		walk(n.left, indent+"  ")
+		walk(n.right, indent+"  ")
+	}
+	walk(0, "")
+	return b.String()
+}
