@@ -400,6 +400,42 @@ func BenchmarkBaselineComparison(b *testing.B) {
 	})
 }
 
+// BenchmarkCollectParallel measures the bounded worker pool on the Fig-6
+// NW sweep (64 runs): "seq" collects with Workers=1, "par" with the
+// default worker count. Both produce bit-identical frames (verified by
+// TestCollectWorkersBitIdentical); the ratio of their ns/op is the
+// parallel speedup.
+func BenchmarkCollectParallel(b *testing.B) {
+	dev, err := blackforest.LookupDevice("GTX580")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkRuns := func() []blackforest.Workload {
+		var runs []blackforest.Workload
+		seed := uint64(1)
+		for n := 64; n <= 4096; n += 64 {
+			seed++
+			runs = append(runs, &blackforest.NeedlemanWunsch{SeqLen: n, Seed: seed})
+		}
+		return runs
+	}
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1}, {"par", 0},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := blackforest.CollectOptions{MaxSimBlocks: 8, Workers: c.workers}
+				if _, err := blackforest.Collect(dev, mkRuns(), opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Substrate microbenchmarks ---
 
 func BenchmarkForestFit(b *testing.B) {

@@ -64,6 +64,12 @@ type (
 	ProfilerOptions = profiler.Options
 	// Profiler collects counters from workloads on one device.
 	Profiler = profiler.Profiler
+	// Releaser is the optional Workload interface for dropping large
+	// per-run buffers once a run finishes.
+	Releaser = profiler.Releaser
+	// InputSeeded is the optional Workload interface exposing the
+	// input-generation seed, which joins the per-run noise identity.
+	InputSeeded = profiler.InputSeeded
 )
 
 // Re-exported workload implementations (the paper's benchmarks).

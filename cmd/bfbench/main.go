@@ -27,9 +27,10 @@ func main() {
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvdir := flag.String("csvdir", "", "directory for CSV series output (optional)")
+	workers := flag.Int("workers", 0, "concurrent profiling runs during collection (0 = all CPUs)")
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed}
+	opts := experiments.Options{Seed: *seed, Workers: *workers}
 	switch *scale {
 	case "quick":
 		opts.Scale = experiments.Quick

@@ -29,6 +29,7 @@ func main() {
 	sweep := flag.String("sweep", "", "profile a size sweep lo:hi:step and emit a frame CSV")
 	maxBlocks := flag.Int("simblocks", 24, "max thread blocks simulated in detail per launch (0 = all)")
 	seed := flag.Uint64("seed", 1, "input-data seed")
+	workers := flag.Int("workers", 0, "concurrent profiling runs with -sweep (0 = all CPUs)")
 	flag.Parse()
 
 	dev, err := gpusim.LookupDevice(*device)
@@ -42,17 +43,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		var profiles []*profiler.Profile
+		var runs []profiler.Workload
 		for n := lo; n <= hi; n += step {
 			w, err := makeWorkload(*kernel, n, *blockSize, *seed+uint64(n))
 			if err != nil {
 				fatal(err)
 			}
-			prof, err := p.Run(w)
-			if err != nil {
-				fatal(err)
-			}
-			profiles = append(profiles, prof)
+			runs = append(runs, w)
+		}
+		profiles, err := p.RunAll(runs, *workers)
+		if err != nil {
+			fatal(err)
 		}
 		frame, err := profiler.ToFrame(profiles)
 		if err != nil {

@@ -35,6 +35,7 @@ func main() {
 	topK := flag.Int("topk", 7, "retained most-important predictors")
 	seed := flag.Uint64("seed", 1, "random seed")
 	simBlocks := flag.Int("simblocks", 24, "max blocks simulated in detail per launch")
+	workers := flag.Int("workers", 0, "concurrent profiling runs during collection (0 = all CPUs)")
 	flag.Parse()
 
 	var frame *dataset.Frame
@@ -59,7 +60,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("collecting %d runs of %s on %s...\n", len(runs), *kernel, dev.Name)
-		frame, err = core.Collect(dev, runs, core.CollectOptions{MaxSimBlocks: *simBlocks, Seed: *seed})
+		frame, err = core.Collect(dev, runs, core.CollectOptions{MaxSimBlocks: *simBlocks, Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}

@@ -75,13 +75,19 @@ type CollectOptions struct {
 	NoiseSigma float64
 	// Seed seeds the profiler noise.
 	Seed uint64
+	// Workers bounds how many runs are profiled concurrently: 0 selects
+	// runtime.NumCPU(), 1 collects sequentially. Every worker count
+	// produces the same frame bit for bit — per-run noise derives from
+	// the workload identity, not from sweep position.
+	Workers int
 }
 
 // Collect profiles every workload run on the device and assembles the
 // modeling frame: one row per run with problem characteristics, all
 // counters available on the device's architecture, and the response
 // column time_ms. Constant (zero-variance) counters are dropped — they
-// cannot inform the forest.
+// cannot inform the forest. Runs are profiled concurrently per
+// CollectOptions.Workers; rows keep input order regardless.
 func Collect(dev *gpusim.Device, runs []profiler.Workload, opt CollectOptions) (*dataset.Frame, error) {
 	if len(runs) == 0 {
 		return nil, errors.New("core: no runs to collect")
@@ -91,18 +97,9 @@ func Collect(dev *gpusim.Device, runs []profiler.Workload, opt CollectOptions) (
 		NoiseSigma:   opt.NoiseSigma,
 		Seed:         opt.Seed,
 	})
-	profiles := make([]*profiler.Profile, 0, len(runs))
-	for i, w := range runs {
-		prof, err := p.Run(w)
-		if err != nil {
-			return nil, fmt.Errorf("core: collecting run %d (%s): %w", i, w.Name(), err)
-		}
-		profiles = append(profiles, prof)
-		// Large workloads (NW holds an O(n²) matrix) would otherwise
-		// accumulate across the sweep.
-		if rel, ok := w.(interface{ Release() }); ok {
-			rel.Release()
-		}
+	profiles, err := p.RunAll(runs, opt.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: collecting: %w", err)
 	}
 	frame, err := profiler.ToFrame(profiles)
 	if err != nil {

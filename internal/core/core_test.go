@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -267,6 +268,130 @@ func TestCollectEndToEnd(t *testing.T) {
 	}
 	if _, err := Collect(dev, nil, CollectOptions{}); err == nil {
 		t.Fatal("empty run list accepted")
+	}
+}
+
+// collectRuns builds a fresh reduction sweep (workloads are released by
+// Collect, so every Collect call gets its own instances).
+func collectRuns() []profiler.Workload {
+	var runs []profiler.Workload
+	for i, n := range []int{4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288} {
+		runs = append(runs, &kernels.Reduction{Variant: 2, N: n, BlockSize: 256, Seed: uint64(i + 1)})
+	}
+	return runs
+}
+
+// requireFramesEqual fails unless the two frames are bit-for-bit identical.
+func requireFramesEqual(t *testing.T, label string, a, b *dataset.Frame) {
+	t.Helper()
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		t.Fatalf("%s: %d vs %d columns", label, len(an), len(bn))
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("%s: column %d is %q vs %q", label, i, an[i], bn[i])
+		}
+	}
+	for _, name := range an {
+		ca, cb := a.MustColumn(name), b.MustColumn(name)
+		if len(ca) != len(cb) {
+			t.Fatalf("%s: column %s has %d vs %d rows", label, name, len(ca), len(cb))
+		}
+		for r := range ca {
+			if ca[r] != cb[r] {
+				t.Fatalf("%s: %s[%d] = %v vs %v", label, name, r, ca[r], cb[r])
+			}
+		}
+	}
+}
+
+func TestCollectWorkersBitIdentical(t *testing.T) {
+	dev, err := gpusim.LookupDevice("GTX580")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CollectOptions{MaxSimBlocks: 8, Seed: 3, Workers: 1}
+	ref, err := Collect(dev, collectRuns(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 16} {
+		opt.Workers = workers
+		frame, err := Collect(dev, collectRuns(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireFramesEqual(t, fmt.Sprintf("Workers=%d vs Workers=1", workers), ref, frame)
+	}
+}
+
+func TestCollectOrderIndependent(t *testing.T) {
+	dev, err := gpusim.LookupDevice("GTX580")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CollectOptions{MaxSimBlocks: 8, Seed: 3, Workers: 4}
+	forward, err := Collect(dev, collectRuns(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := collectRuns()
+	for i, j := 0, len(runs)-1; i < j; i, j = i+1, j-1 {
+		runs[i], runs[j] = runs[j], runs[i]
+	}
+	reversed, err := Collect(dev, runs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows follow input order, so match them by the (unique) size
+	// characteristic; every cell must then agree exactly.
+	rowBySize := map[float64]int{}
+	for r, s := range reversed.MustColumn("size") {
+		rowBySize[s] = r
+	}
+	for _, name := range forward.Names() {
+		cf, cr := forward.MustColumn(name), reversed.MustColumn(name)
+		for r, s := range forward.MustColumn("size") {
+			rr, ok := rowBySize[s]
+			if !ok {
+				t.Fatalf("size %v missing from reversed collection", s)
+			}
+			if cf[r] != cr[rr] {
+				t.Fatalf("%s at size %v: %v (forward) vs %v (reversed)", name, s, cf[r], cr[rr])
+			}
+		}
+	}
+}
+
+func TestCollectPairMatchesSequential(t *testing.T) {
+	devA, err := gpusim.LookupDevice("GTX580")
+	if err != nil {
+		t.Fatal(err)
+	}
+	devB, err := gpusim.LookupDevice("K20m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	optA := CollectOptions{MaxSimBlocks: 8, Seed: 5}
+	optB := CollectOptions{MaxSimBlocks: 8, Seed: 6}
+	seqA, err := Collect(devA, collectRuns(), optA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqB, err := Collect(devB, collectRuns(), optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairA, pairB, err := CollectPair(devA, collectRuns(), optA, devB, collectRuns(), optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireFramesEqual(t, "device A", seqA, pairA)
+	requireFramesEqual(t, "device B", seqB, pairB)
+
+	if _, _, err := CollectPair(devA, nil, optA, devB, collectRuns(), optB); err == nil {
+		t.Fatal("empty device-A run list accepted")
 	}
 }
 

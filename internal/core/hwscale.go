@@ -2,12 +2,57 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"blackforest/internal/dataset"
 	"blackforest/internal/gpusim"
+	"blackforest/internal/profiler"
 	"blackforest/internal/stats"
 )
+
+// CollectPair profiles two devices' sweeps concurrently — the §6.2
+// hardware-scaling experiments profile the same workload sweep on both
+// GPUs, and the two collections are fully independent. When neither
+// option sets Workers, the CPU budget is split between the devices so the
+// pair does not oversubscribe the host; explicit Workers values are
+// honored per side. Each frame is bit-for-bit what a standalone Collect
+// with the same options would produce.
+func CollectPair(
+	devA *gpusim.Device, runsA []profiler.Workload, optA CollectOptions,
+	devB *gpusim.Device, runsB []profiler.Workload, optB CollectOptions,
+) (*dataset.Frame, *dataset.Frame, error) {
+	if optA.Workers <= 0 && optB.Workers <= 0 {
+		half := runtime.NumCPU() / 2
+		if half < 1 {
+			half = 1
+		}
+		optA.Workers, optB.Workers = half, half
+	}
+	var (
+		frameA, frameB *dataset.Frame
+		errA, errB     error
+		wg             sync.WaitGroup
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		frameA, errA = Collect(devA, runsA, optA)
+	}()
+	go func() {
+		defer wg.Done()
+		frameB, errB = Collect(devB, runsB, optB)
+	}()
+	wg.Wait()
+	if errA != nil {
+		return nil, nil, fmt.Errorf("%s sweep: %w", devA.Name, errA)
+	}
+	if errB != nil {
+		return nil, nil, fmt.Errorf("%s sweep: %w", devB.Name, errB)
+	}
+	return frameA, frameB, nil
+}
 
 // InjectMachineCharacteristics returns the frame extended with the Table 2
 // hardware metrics of the device as constant columns — the §6.2 step that

@@ -36,10 +36,7 @@ func RunPowerPrediction(o Options) (*PowerPrediction, error) {
 	if err != nil {
 		return nil, err
 	}
-	frame, err := core.Collect(dev, MatMulSweep(o), core.CollectOptions{
-		MaxSimBlocks: o.maxSimBlocks(),
-		Seed:         o.Seed,
-	})
+	frame, err := core.Collect(dev, MatMulSweep(o), o.collectOptions())
 	if err != nil {
 		return nil, err
 	}

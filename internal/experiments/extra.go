@@ -87,10 +87,7 @@ func runBottleneckAnalysis(runs []profiler.Workload, o Options) (*core.Analysis,
 	if err != nil {
 		return nil, nil, err
 	}
-	frame, err := core.Collect(dev, runs, core.CollectOptions{
-		MaxSimBlocks: o.maxSimBlocks(),
-		Seed:         o.Seed,
-	})
+	frame, err := core.Collect(dev, runs, o.collectOptions())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -26,6 +26,15 @@ func (o Options) pipelineConfig() core.Config {
 	return cfg
 }
 
+// collectOptions assembles the data-collection options for an experiment.
+func (o Options) collectOptions() core.CollectOptions {
+	return core.CollectOptions{
+		MaxSimBlocks: o.maxSimBlocks(),
+		Seed:         o.Seed,
+		Workers:      o.Workers,
+	}
+}
+
 // ReductionAnalysis is the result of a §5 bottleneck analysis (Figures
 // 2–4): importance ranking, partial dependence of the top counter, and the
 // PCA refinement.
@@ -57,10 +66,7 @@ func RunReductionAnalysis(variant int, o Options) (*ReductionAnalysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	frame, err := core.Collect(dev, ReductionSweep(variant, o), core.CollectOptions{
-		MaxSimBlocks: o.maxSimBlocks(),
-		Seed:         o.Seed,
-	})
+	frame, err := core.Collect(dev, ReductionSweep(variant, o), o.collectOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -193,10 +199,7 @@ func runProblemScaling(name string, runs []profiler.Workload, kind core.ModelKin
 	if err != nil {
 		return nil, err
 	}
-	frame, err := core.Collect(dev, runs, core.CollectOptions{
-		MaxSimBlocks: o.maxSimBlocks(),
-		Seed:         o.Seed,
-	})
+	frame, err := core.Collect(dev, runs, o.collectOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -334,13 +337,13 @@ func runHWScaling(name string, trainRuns, targetRuns []profiler.Workload, o Opti
 	if err != nil {
 		return nil, err
 	}
-	copt := core.CollectOptions{MaxSimBlocks: o.maxSimBlocks(), Seed: o.Seed}
-	frameA, err := core.Collect(devA, trainRuns, copt)
-	if err != nil {
-		return nil, err
-	}
-	copt.Seed = o.Seed ^ 0xca11b
-	frameB, err := core.Collect(devB, targetRuns, copt)
+	// Both devices' sweeps are profiled concurrently: the collections are
+	// independent, and per-run noise identity makes the result equal to
+	// two sequential Collect calls.
+	coptA := o.collectOptions()
+	coptB := coptA
+	coptB.Seed = o.Seed ^ 0xca11b
+	frameA, frameB, err := core.CollectPair(devA, trainRuns, coptA, devB, targetRuns, coptB)
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,10 @@ const (
 type Options struct {
 	Scale Scale
 	Seed  uint64
+	// Workers bounds concurrent profiling runs during data collection
+	// (0 = all CPUs, 1 = sequential). Collected frames are identical for
+	// every value.
+	Workers int
 }
 
 // forestConfig returns the forest size for the scale.

@@ -95,16 +95,19 @@ func Fit(x [][]float64, y []float64, names []string, cfg Config) (*Forest, error
 		cfg.Workers = runtime.NumCPU()
 	}
 
+	// Copy the training data: the forest retains it for OOB error,
+	// permutation importance, and partial dependence, all of which would
+	// silently corrupt if the caller mutated its slices after Fit.
 	f := &Forest{
 		trees:    make([]*rtree.Tree, cfg.NTrees),
 		oobIdx:   make([][]int, cfg.NTrees),
 		names:    append([]string(nil), names...),
-		x:        x,
-		y:        y,
+		x:        copyRows(x),
+		y:        append([]float64(nil), y...),
 		cfg:      cfg,
 		nSamples: len(x),
 	}
-	f.minResp, f.maxResp = stats.Min(y), stats.Max(y)
+	f.minResp, f.maxResp = stats.Min(f.y), stats.Max(f.y)
 
 	// Pre-derive one RNG seed per tree from the master seed so tree
 	// construction is order-independent and parallelizable.
@@ -124,8 +127,8 @@ func Fit(x [][]float64, y []float64, names []string, cfg Config) (*Forest, error
 			defer wg.Done()
 			defer func() { <-sem }()
 			rng := stats.NewRNG(seeds[t])
-			inBag, oob := rng.Bootstrap(len(x))
-			tree, err := rtree.Fit(x, y, inBag, rtree.Params{
+			inBag, oob := rng.Bootstrap(f.nSamples)
+			tree, err := rtree.Fit(f.x, f.y, inBag, rtree.Params{
 				MinNodeSize: cfg.MinNodeSize,
 				MaxDepth:    cfg.MaxDepth,
 				MTry:        cfg.MTry,
@@ -149,6 +152,15 @@ func Fit(x [][]float64, y []float64, names []string, cfg Config) (*Forest, error
 	f.computeOOB()
 	f.computeImportance(seeds)
 	return f, nil
+}
+
+// copyRows deep-copies a design matrix, rows included.
+func copyRows(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
 }
 
 // computeOOB fills the OOB predictions and the derived error statistics.

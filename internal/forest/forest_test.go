@@ -96,6 +96,58 @@ func TestDeterminismAcrossFits(t *testing.T) {
 	}
 }
 
+func TestFitDefensiveCopy(t *testing.T) {
+	x, y, names := friedman1(100, 13)
+	f, err := Fit(x, y, names, Config{NTrees: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := append([]float64(nil), x[0]...)
+	oob := f.OOBMSE()
+	pred := f.Predict(probe)
+	imp := f.VariableImportance()
+	grid, resp, err := f.PartialDependence("x1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ResponseRange()
+
+	// Trash the caller's slices; the fitted forest must not notice.
+	for i := range x {
+		for j := range x[i] {
+			x[i][j] = 1e9
+		}
+	}
+	for i := range y {
+		y[i] = -1e9
+	}
+
+	if f.OOBMSE() != oob {
+		t.Fatal("OOB MSE changed after mutating training data")
+	}
+	if f.Predict(probe) != pred {
+		t.Fatal("prediction changed after mutating training data")
+	}
+	if lo2, hi2 := f.ResponseRange(); lo2 != lo || hi2 != hi {
+		t.Fatalf("response range tracked caller's y: [%v,%v] vs [%v,%v]", lo2, hi2, lo, hi)
+	}
+	imp2 := f.VariableImportance()
+	for i := range imp {
+		if imp[i] != imp2[i] {
+			t.Fatal("importance changed after mutating training data")
+		}
+	}
+	grid2, resp2, err := f.PartialDependence("x1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range grid {
+		if grid[g] != grid2[g] || resp[g] != resp2[g] {
+			t.Fatal("partial dependence read the caller's mutated matrix")
+		}
+	}
+}
+
 func TestPredictAllAndBounds(t *testing.T) {
 	x, y, names := friedman1(150, 4)
 	f, err := Fit(x, y, names, Config{NTrees: 80, Seed: 1})

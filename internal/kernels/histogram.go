@@ -47,6 +47,10 @@ func (h *Histogram) Characteristics() map[string]float64 {
 	return map[string]float64{"size": float64(h.N), "skew": h.Skew}
 }
 
+// InputSeed implements profiler.InputSeeded: repeated runs at the same
+// size but with fresh inputs keep distinct noise identities.
+func (h *Histogram) InputSeed() uint64 { return h.Seed }
+
 // Bins returns the computed histogram (valid after a fully-simulated run).
 func (h *Histogram) Bins() []uint32 { return h.bins }
 

@@ -32,6 +32,10 @@ func (m *MatMul) Characteristics() map[string]float64 {
 	return map[string]float64{"size": float64(m.N)}
 }
 
+// InputSeed implements profiler.InputSeeded: repeated runs at the same
+// size but with fresh inputs keep distinct noise identities.
+func (m *MatMul) InputSeed() uint64 { return m.Seed }
+
 // A, B and C return the input and output matrices (valid after Plan; C is
 // filled by a fully-simulated run).
 func (m *MatMul) A() []float32 { return m.a }

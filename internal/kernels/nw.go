@@ -43,6 +43,10 @@ func (nw *NeedlemanWunsch) Characteristics() map[string]float64 {
 	return map[string]float64{"size": float64(nw.SeqLen)}
 }
 
+// InputSeed implements profiler.InputSeeded: repeated runs at the same
+// size but with fresh sequences keep distinct noise identities.
+func (nw *NeedlemanWunsch) InputSeed() uint64 { return nw.Seed }
+
 // Score returns the score matrix (valid after a fully-simulated run).
 func (nw *NeedlemanWunsch) Score() []int32 { return nw.score }
 

@@ -53,6 +53,10 @@ func (r *Reduction) Characteristics() map[string]float64 {
 	}
 }
 
+// InputSeed implements profiler.InputSeeded: repeated runs at the same
+// size but with fresh inputs keep distinct noise identities.
+func (r *Reduction) InputSeed() uint64 { return r.Seed }
+
 // CPUReduce is the reference result: the plain sequential sum.
 func CPUReduce(xs []float32) float32 {
 	var s float32

@@ -41,6 +41,10 @@ func (t *Transpose) Characteristics() map[string]float64 {
 	return map[string]float64{"size": float64(t.N)}
 }
 
+// InputSeed implements profiler.InputSeeded: repeated runs at the same
+// size but with fresh inputs keep distinct noise identities.
+func (t *Transpose) InputSeed() uint64 { return t.Seed }
+
 // In and Out return the input and output matrices (valid after Plan; Out
 // is filled by a fully-simulated run).
 func (t *Transpose) In() []float32  { return t.in }

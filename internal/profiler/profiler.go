@@ -6,13 +6,19 @@
 // Like a real profiler, it injects a small amount of multiplicative
 // measurement noise into the reported time (seeded, reproducible), so the
 // statistical pipeline downstream never sees an implausibly clean response.
+// Each run's noise is a pure function of the profiler seed and the
+// workload's identity — never of how many runs were profiled before it —
+// so sweeps may be reordered or profiled concurrently without changing any
+// profile.
 package profiler
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"blackforest/internal/counters"
 	"blackforest/internal/gpusim"
@@ -39,6 +45,18 @@ type Workload interface {
 	// Characteristics returns the problem parameters as named values.
 	Characteristics() map[string]float64
 }
+
+// Releaser is the optional interface of workloads that hold large per-run
+// buffers (e.g. NW's O(n²) score matrix). RunAll releases every planned
+// workload once its run finishes — error or not — so sweeps do not
+// accumulate memory.
+type Releaser interface{ Release() }
+
+// InputSeeded is the optional interface of workloads whose input data is
+// generated from a seed. The seed joins the noise-identity hash, so
+// repeated runs at the same problem configuration (fresh inputs, same
+// size) still draw independent measurement noise.
+type InputSeeded interface{ InputSeed() uint64 }
 
 // Options configures profiling.
 type Options struct {
@@ -78,11 +96,13 @@ type Profile struct {
 	Bottlenecks map[string]int
 }
 
-// Profiler profiles workloads on one device.
+// Profiler profiles workloads on one device. It is immutable after New and
+// safe for concurrent use by multiple goroutines: every Run builds its own
+// simulator, and measurement noise is drawn from a per-run generator seeded
+// by the workload's identity rather than from a shared stream.
 type Profiler struct {
 	dev *gpusim.Device
 	opt Options
-	rng *stats.RNG
 }
 
 // New builds a profiler for the device.
@@ -93,11 +113,44 @@ func New(dev *gpusim.Device, opt Options) *Profiler {
 	if opt.NoiseSigma < 0 {
 		opt.NoiseSigma = 0
 	}
-	return &Profiler{dev: dev, opt: opt, rng: stats.NewRNG(opt.Seed ^ 0x70726f66)}
+	return &Profiler{dev: dev, opt: opt}
 }
 
 // Device returns the profiled device.
 func (p *Profiler) Device() *gpusim.Device { return p.dev }
+
+// noiseSeed derives the measurement-noise seed for one run: an FNV-1a hash
+// of the workload's identity (name, characteristics, input seed) mixed with
+// the profiler seed, splitmix-finalized the same way forest.Fit derives its
+// per-tree seeds. Because position in the sweep never enters the hash,
+// reordering or parallelizing a collection cannot change any profile.
+func (p *Profiler) noiseSeed(w Workload) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte8 := func(x uint64) {
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ (x >> i & 0xff)) * prime64
+		}
+	}
+	name := w.Name()
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	chars := w.Characteristics()
+	for _, k := range sortedKeys(chars) {
+		for i := 0; i < len(k); i++ {
+			h = (h ^ uint64(k[i])) * prime64
+		}
+		byte8(math.Float64bits(chars[k]))
+	}
+	if s, ok := w.(InputSeeded); ok {
+		byte8(s.InputSeed())
+	}
+	return stats.SplitMix64(h ^ stats.SplitMix64(p.opt.Seed^0x70726f66))
+}
 
 // Run profiles one workload run end to end.
 func (p *Profiler) Run(w Workload) (*Profile, error) {
@@ -133,10 +186,11 @@ func (p *Profiler) Run(w Workload) (*Profile, error) {
 
 	modelTime := agg.TimeMS
 	measured := modelTime
-	power := energyMJ / modelTime // mJ over ms = W
+	power := averagePower(energyMJ, modelTime)
 	if p.opt.NoiseSigma > 0 {
-		measured *= math.Exp(p.opt.NoiseSigma * p.rng.NormFloat64())
-		power *= math.Exp(p.opt.NoiseSigma * p.rng.NormFloat64())
+		rng := stats.NewRNG(p.noiseSeed(w))
+		measured *= math.Exp(p.opt.NoiseSigma * rng.NormFloat64())
+		power *= math.Exp(p.opt.NoiseSigma * rng.NormFloat64())
 	}
 	agg.TimeMS = measured
 
@@ -152,6 +206,67 @@ func (p *Profiler) Run(w Workload) (*Profile, error) {
 		Launches:        len(launches),
 		Bottlenecks:     bottlenecks,
 	}, nil
+}
+
+// averagePower returns the mean power draw in watts (mJ over ms). A
+// degenerate run with ~zero modeled time would divide to Inf/NaN and
+// poison every downstream frame; it reports 0 W instead.
+func averagePower(energyMJ, modelTimeMS float64) float64 {
+	if modelTimeMS <= 0 {
+		return 0
+	}
+	p := energyMJ / modelTimeMS
+	if math.IsInf(p, 0) || math.IsNaN(p) {
+		return 0
+	}
+	return p
+}
+
+// RunAll profiles every workload with up to workers concurrent runs
+// (workers ≤ 0 selects runtime.NumCPU(), 1 profiles sequentially) and
+// returns the profiles in input order. Because each run's noise derives
+// from its identity, the result is bit-for-bit identical for every worker
+// count, and independent of input order modulo slice order. Workloads
+// implementing Releaser are released as soon as their run finishes,
+// including runs that fail after planning; the error of the earliest run
+// in input order wins.
+func (p *Profiler) RunAll(runs []Workload, workers int) ([]*Profile, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	profiles := make([]*Profile, len(runs))
+	errs := make([]error, len(runs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, w := range runs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, w Workload) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			prof, err := p.Run(w)
+			// Release unconditionally: Plan may have allocated (NW's
+			// O(n²) matrix) even when the launch later failed.
+			if rel, ok := w.(Releaser); ok {
+				rel.Release()
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			profiles[i] = prof
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("profiler: run %d (%s): %w", i, runs[i].Name(), err)
+		}
+	}
+	return profiles, nil
 }
 
 // MetricNames returns the profile's metric names, sorted.

@@ -1,7 +1,9 @@
 package profiler
 
 import (
+	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -10,10 +12,11 @@ import (
 
 // fakeWorkload is a minimal Workload for profiler tests.
 type fakeWorkload struct {
-	name     string
-	launches int
-	ops      int
-	size     float64
+	name      string
+	launches  int
+	ops       int
+	size      float64
+	inputSeed uint64
 }
 
 func (f *fakeWorkload) Name() string { return f.name }
@@ -21,6 +24,8 @@ func (f *fakeWorkload) Name() string { return f.name }
 func (f *fakeWorkload) Characteristics() map[string]float64 {
 	return map[string]float64{"size": f.size}
 }
+
+func (f *fakeWorkload) InputSeed() uint64 { return f.inputSeed }
 
 func (f *fakeWorkload) Plan(dev *gpusim.Device) ([]Launch, error) {
 	var out []Launch
@@ -100,6 +105,181 @@ func TestNoiseReproducibleAndBounded(t *testing.T) {
 	rel := math.Abs(a.TimeMS-a.ModelTimeMS) / a.ModelTimeMS
 	if rel > 0.2 {
 		t.Fatalf("noise too large: %v", rel)
+	}
+}
+
+// trackedWorkload wraps fakeWorkload with Release accounting and an
+// optional planning failure, mirroring real workloads (NW) that allocate
+// in Plan and must be released even when the run errors.
+type trackedWorkload struct {
+	fakeWorkload
+	failPlan bool
+	released int
+}
+
+func (w *trackedWorkload) Plan(dev *gpusim.Device) ([]Launch, error) {
+	if w.failPlan {
+		return nil, errors.New("injected plan failure")
+	}
+	return w.fakeWorkload.Plan(dev)
+}
+
+func (w *trackedWorkload) Release() { w.released++ }
+
+func TestNoiseOrderIndependent(t *testing.T) {
+	// A profile must not depend on which runs preceded it: b profiled
+	// after a equals b profiled alone on a fresh profiler.
+	mkA := func() *fakeWorkload { return &fakeWorkload{name: "a", launches: 1, ops: 30, size: 1} }
+	mkB := func() *fakeWorkload { return &fakeWorkload{name: "b", launches: 2, ops: 70, size: 2} }
+	p := New(device(t), Options{Seed: 9})
+	if _, err := p.Run(mkA()); err != nil {
+		t.Fatal(err)
+	}
+	after, err := p.Run(mkB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone, err := New(device(t), Options{Seed: 9}).Run(mkB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.TimeMS != alone.TimeMS || after.PowerW != alone.PowerW {
+		t.Fatalf("profile depends on sweep position: after=%v/%v alone=%v/%v",
+			after.TimeMS, after.PowerW, alone.TimeMS, alone.PowerW)
+	}
+}
+
+func TestInputSeedChangesNoise(t *testing.T) {
+	// Two runs identical except for the input seed model repeated sweeps
+	// with fresh data: same modeled time, independent noise draws.
+	p := New(device(t), Options{Seed: 3})
+	a, err := p.Run(&fakeWorkload{name: "fake", launches: 1, ops: 40, size: 8, inputSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run(&fakeWorkload{name: "fake", launches: 1, ops: 40, size: 8, inputSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ModelTimeMS != b.ModelTimeMS {
+		t.Fatal("input seed changed the modeled time")
+	}
+	if a.TimeMS == b.TimeMS {
+		t.Fatal("distinct input seeds drew identical noise")
+	}
+}
+
+func TestAveragePowerGuard(t *testing.T) {
+	if got := averagePower(10, 2); got != 5 {
+		t.Fatalf("averagePower(10, 2) = %v, want 5", got)
+	}
+	for _, tc := range []struct {
+		energy, time float64
+	}{
+		{10, 0},                   // zero-time run: would divide to +Inf
+		{0, 0},                    // 0/0: NaN
+		{math.Inf(1), 2},          // degenerate energy
+		{math.NaN(), 1},           // NaN propagates
+		{10, -1},                  // negative time is as degenerate as zero
+		{math.MaxFloat64, 1e-310}, // overflow to +Inf
+	} {
+		if got := averagePower(tc.energy, tc.time); got != 0 {
+			t.Fatalf("averagePower(%v, %v) = %v, want 0", tc.energy, tc.time, got)
+		}
+	}
+}
+
+// runAllWorkloads builds a deterministic mixed batch for RunAll tests.
+func runAllWorkloads() []Workload {
+	var runs []Workload
+	for i := 0; i < 9; i++ {
+		runs = append(runs, &fakeWorkload{
+			name:      "w" + string(rune('a'+i%3)),
+			launches:  1 + i%3,
+			ops:       20 + 10*i,
+			size:      float64(1 + i),
+			inputSeed: uint64(i),
+		})
+	}
+	return runs
+}
+
+func TestRunAllMatchesSequential(t *testing.T) {
+	p := New(device(t), Options{Seed: 11})
+	var want []*Profile
+	for _, w := range runAllWorkloads() {
+		prof, err := p.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, prof)
+	}
+	for _, workers := range []int{0, 1, 4, 32} {
+		got, err := p.RunAll(runAllWorkloads(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d profiles, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d: profile %d differs from sequential Run", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunAllOrderIndependent(t *testing.T) {
+	p := New(device(t), Options{Seed: 11})
+	forward, err := p.RunAll(runAllWorkloads(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := runAllWorkloads()
+	for i, j := 0, len(runs)-1; i < j; i, j = i+1, j-1 {
+		runs[i], runs[j] = runs[j], runs[i]
+	}
+	reversed, err := p.RunAll(runs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range forward {
+		if !reflect.DeepEqual(forward[i], reversed[len(reversed)-1-i]) {
+			t.Fatalf("profile %d changed under input permutation", i)
+		}
+	}
+}
+
+func TestRunAllReleasesEveryWorkloadAndFirstErrorWins(t *testing.T) {
+	mk := func(name string, fail bool) *trackedWorkload {
+		return &trackedWorkload{
+			fakeWorkload: fakeWorkload{name: name, launches: 1, ops: 20, size: 1},
+			failPlan:     fail,
+		}
+	}
+	runs := []*trackedWorkload{
+		mk("ok0", false), mk("bad1", true), mk("ok2", false), mk("bad3", true),
+	}
+	var asWorkloads []Workload
+	for _, w := range runs {
+		asWorkloads = append(asWorkloads, w)
+	}
+	p := New(device(t), Options{Seed: 1})
+	_, err := p.RunAll(asWorkloads, 2)
+	if err == nil {
+		t.Fatal("failing run accepted")
+	}
+	// The earliest failing run in input order is reported, regardless of
+	// goroutine completion order.
+	if !strings.Contains(err.Error(), "run 1 (bad1)") {
+		t.Fatalf("error %q does not name the first failing run", err)
+	}
+	// Every workload — including both failing ones — was released once.
+	for i, w := range runs {
+		if w.released != 1 {
+			t.Fatalf("workload %d released %d times, want 1", i, w.released)
+		}
 	}
 }
 

@@ -17,12 +17,24 @@ func NewRNG(seed uint64) *RNG {
 	x := seed
 	for i := 0; i < 4; i++ {
 		x += 0x9e3779b97f4a7c15
-		z := x
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		r.s[i] = splitmixFinalize(x)
 	}
 	return r
+}
+
+// SplitMix64 is the splitmix64 single-step mix: a cheap, high-quality
+// avalanche of a 64-bit value. Callers use it to derive independent
+// sub-seeds from a master seed (per tree, per profiled run) so work units
+// can run in any order, or concurrently, without sharing generator state.
+func SplitMix64(x uint64) uint64 {
+	return splitmixFinalize(x + 0x9e3779b97f4a7c15)
+}
+
+// splitmixFinalize is splitmix64's output function.
+func splitmixFinalize(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
