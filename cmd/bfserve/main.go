@@ -1,0 +1,72 @@
+// bfserve serves predictions from a saved BlackForest model bundle: the
+// train-once / predict-cheaply split. Train and save with
+//
+//	blackforest -kernel matmul -save model.json
+//
+// then serve the bundle:
+//
+//	bfserve -model model.json -addr :8391
+//	curl -s localhost:8391/v1/predict -d '{"chars":{"size":1536}}'
+//
+// Endpoints: POST /v1/predict (single or batch), GET /v1/model,
+// GET /healthz, GET /metrics (Prometheus text). The process shuts down
+// gracefully on SIGINT/SIGTERM, letting in-flight requests complete.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blackforest/internal/core"
+	"blackforest/internal/serve"
+)
+
+func main() {
+	model := flag.String("model", "", "model bundle written by blackforest -save (required)")
+	addr := flag.String("addr", ":8391", "listen address")
+	cache := flag.Int("cache", 1024, "LRU prediction cache entries (negative disables)")
+	workers := flag.Int("workers", 0, "concurrent predictions per batch request (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-request timeout")
+	flag.Parse()
+
+	if *model == "" {
+		fmt.Fprintln(os.Stderr, "bfserve: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	scaler, err := core.LoadProblemScalerFile(*model)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %s: response %s, %d trees over %v (test R² %.3f, %d counter models)\n",
+		*model, scaler.Response(), scaler.Reduced.Forest.NumTrees(),
+		scaler.Reduced.Predictors, scaler.Reduced.TestR2, len(scaler.Models))
+
+	srv, err := serve.New(serve.Config{
+		Scaler:         scaler,
+		CacheSize:      *cache,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving on %s (POST /v1/predict, GET /v1/model, /healthz, /metrics)\n", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		fatal(err)
+	}
+	fmt.Println("bfserve: shut down cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfserve:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,8 @@
 //	blackforest -kernel reduce1 -device GTX580            # bottleneck analysis
 //	blackforest -kernel matmul -predict 384,1536          # + problem scaling
 //	blackforest -kernel needle -sweep 64:2048:64 -models mars
+//	blackforest -kernel matmul -save model.json           # persist the model
+//	blackforest -load model.json -predict 384,1536        # predict, no profiling
 package main
 
 import (
@@ -36,7 +38,25 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	simBlocks := flag.Int("simblocks", 24, "max blocks simulated in detail per launch")
 	workers := flag.Int("workers", 0, "concurrent profiling runs during collection (0 = all CPUs)")
+	save := flag.String("save", "", "write the trained prediction model (forest + counter models) as a JSON bundle")
+	load := flag.String("load", "", "load a saved model bundle instead of profiling and training")
 	flag.Parse()
+
+	if *load != "" {
+		scaler, err := core.LoadProblemScalerFile(*load)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s: response %s, %d trees over %v (test R² %.3f, %d counter models, mean counter R² %.3f)\n",
+			*load, scaler.Response(), scaler.Reduced.Forest.NumTrees(),
+			scaler.Reduced.Predictors, scaler.Reduced.TestR2, len(scaler.Models), scaler.AverageCounterR2())
+		if *predict != "" {
+			if err := predictSizes(scaler, *predict); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
 
 	var frame *dataset.Frame
 	if *data != "" {
@@ -125,7 +145,7 @@ func main() {
 		fmt.Println()
 	}
 
-	if *predict == "" {
+	if *predict == "" && *save == "" {
 		return
 	}
 	kind := core.AutoModel
@@ -139,23 +159,47 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\nproblem-scaling predictions (counter models: %s, mean R² %.3f):\n",
-		*models, scaler.AverageCounterR2())
-	for _, s := range strings.Split(*predict, ",") {
+	if *save != "" {
+		if err := scaler.SaveFile(*save); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nsaved model bundle to %s (serve it with: bfserve -model %s)\n", *save, *save)
+	}
+	if *predict != "" {
+		fmt.Printf("\nproblem-scaling predictions (counter models: %s, mean R² %.3f):\n",
+			*models, scaler.AverageCounterR2())
+		if err := predictSizes(scaler, *predict); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// predictSizes answers a comma-separated size list from the scaler, filling
+// the block-size characteristic with its conventional default when the
+// model uses it.
+func predictSizes(scaler *core.ProblemScaler, sizes string) error {
+	hasBlockSize := false
+	for _, c := range scaler.CharNames {
+		if c == "block_size" {
+			hasBlockSize = true
+		}
+	}
+	for _, s := range strings.Split(sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
-			fatal(fmt.Errorf("bad size %q: %w", s, err))
+			return fmt.Errorf("bad size %q: %w", s, err)
 		}
 		chars := map[string]float64{"size": float64(n)}
-		if frame.Has("block_size") {
+		if hasBlockSize {
 			chars["block_size"] = 256
 		}
 		t, err := scaler.PredictTime(chars)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("  size %8d → %.4f ms\n", n, t)
 	}
+	return nil
 }
 
 // buildSweep creates the collection runs for a kernel, using per-kernel

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fitScaler trains a small ProblemScaler on the synthetic frame — the shared
+// fixture for the persistence tests.
+func fitScaler(t testing.TB, seed uint64) *ProblemScaler {
+	t.Helper()
+	frame := syntheticFrame(100, seed)
+	a, err := Analyze(frame, quickConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewProblemScaler(a, 3, AutoModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+// charGrid returns probe inputs spanning and exceeding the training sizes.
+func charGrid() []map[string]float64 {
+	var grid []map[string]float64
+	for s := 32.0; s <= 8192; s *= 2 {
+		grid = append(grid, map[string]float64{"size": s})
+	}
+	grid = append(grid, map[string]float64{"size": 100}, map[string]float64{"size": 5000})
+	return grid
+}
+
+// TestCounterModelSaveLoadRoundTrip checks bit-identical Predict for both
+// model kinds after a Save→Load cycle.
+func TestCounterModelSaveLoadRoundTrip(t *testing.T) {
+	frame := syntheticFrame(80, 7)
+	for _, kind := range []ModelKind{GLMModel, MARSModel} {
+		orig, err := FitCounterModel(frame, "driver_counter", []string{"size"}, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatalf("%v: save: %v", kind, err)
+		}
+		loaded, err := LoadCounterModel(&buf)
+		if err != nil {
+			t.Fatalf("%v: load: %v", kind, err)
+		}
+		for s := 16.0; s <= 8192; s *= 2 {
+			if got, want := loaded.Predict([]float64{s}), orig.Predict([]float64{s}); got != want {
+				t.Fatalf("%v: prediction differs at size %v: %v != %v", kind, s, got, want)
+			}
+		}
+		if loaded.Kind != orig.Kind || loaded.TrainR2 != orig.TrainR2 {
+			t.Fatalf("%v: metadata differs after round trip", kind)
+		}
+	}
+}
+
+func TestImportCounterModelRejectsCorrupt(t *testing.T) {
+	frame := syntheticFrame(80, 7)
+	good, err := FitCounterModel(frame, "driver_counter", []string{"size"}, GLMModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(e *ExportedCounterModel){
+		"nil":            nil,
+		"no counter":     func(e *ExportedCounterModel) { e.Counter = "" },
+		"no chars":       func(e *ExportedCounterModel) { e.Chars = nil; e.Scales = nil },
+		"scale mismatch": func(e *ExportedCounterModel) { e.Scales = append(e.Scales, 1) },
+		"zero scale":     func(e *ExportedCounterModel) { e.Scales[0] = 0 },
+		"NaN scale":      func(e *ExportedCounterModel) { e.Scales[0] = math.NaN() },
+		"unknown kind":   func(e *ExportedCounterModel) { e.Kind = "spline" },
+		"kind w/o model": func(e *ExportedCounterModel) { e.Kind = "mars" },
+		"basis mismatch": func(e *ExportedCounterModel) { e.GLM.Names = e.GLM.Names[:1]; e.GLM.Coef = e.GLM.Coef[:2] },
+	}
+	for name, corrupt := range cases {
+		var e *ExportedCounterModel
+		if corrupt != nil {
+			e = good.Export()
+			corrupt(e)
+		}
+		if _, err := ImportCounterModel(e); err == nil {
+			t.Errorf("%s: corrupted counter model accepted", name)
+		}
+	}
+}
+
+// TestProblemScalerSaveLoadRoundTrip is the tentpole property: a loaded
+// bundle answers PredictTime bit-identically to the fitted scaler on a grid
+// of inputs, and exposes the same metadata.
+func TestProblemScalerSaveLoadRoundTrip(t *testing.T) {
+	orig := fitScaler(t, 6)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := LoadProblemScaler(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	for _, chars := range charGrid() {
+		want, wantCounters, err := orig.PredictDetail(chars)
+		if err != nil {
+			t.Fatalf("original predict %v: %v", chars, err)
+		}
+		got, gotCounters, err := loaded.PredictDetail(chars)
+		if err != nil {
+			t.Fatalf("loaded predict %v: %v", chars, err)
+		}
+		if got != want {
+			t.Fatalf("PredictTime differs at %v: %v != %v", chars, got, want)
+		}
+		if len(gotCounters) != len(wantCounters) {
+			t.Fatalf("counter detail differs at %v", chars)
+		}
+		for name, w := range wantCounters {
+			if gotCounters[name] != w {
+				t.Fatalf("counter %s differs at %v", name, chars)
+			}
+		}
+	}
+
+	if loaded.Response() != orig.Response() {
+		t.Fatal("response column differs")
+	}
+	if strings.Join(loaded.CharNames, ",") != strings.Join(orig.CharNames, ",") {
+		t.Fatal("characteristic names differ")
+	}
+	if strings.Join(loaded.CounterNames(), ",") != strings.Join(orig.CounterNames(), ",") {
+		t.Fatal("counter names differ")
+	}
+	if loaded.Reduced.TestR2 != orig.Reduced.TestR2 || loaded.Reduced.OOBMSE != orig.Reduced.OOBMSE {
+		t.Fatal("validation statistics differ")
+	}
+	// Permutation importance is recomputed from the stored raw scores.
+	if len(loaded.Reduced.Importance) != len(orig.Reduced.Importance) {
+		t.Fatal("importance length differs")
+	}
+	for i, imp := range orig.Reduced.Importance {
+		if loaded.Reduced.Importance[i] != imp {
+			t.Fatalf("importance %d differs: %+v != %+v", i, loaded.Reduced.Importance[i], imp)
+		}
+	}
+}
+
+// TestSaveIsDeterministic: two saves of the same scaler are byte-identical,
+// which the serving cache-hit test and the golden regression rely on.
+func TestSaveIsDeterministic(t *testing.T) {
+	ps := fitScaler(t, 6)
+	var a, b bytes.Buffer
+	if err := ps.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of the same scaler differ")
+	}
+}
+
+func TestSaveFileRoundTrip(t *testing.T) {
+	ps := fitScaler(t, 6)
+	path := t.TempDir() + "/model.json"
+	if err := ps.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProblemScalerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chars := map[string]float64{"size": 1024}
+	want, _ := ps.PredictTime(chars)
+	got, err := loaded.PredictTime(chars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("file round trip changed prediction: %v != %v", got, want)
+	}
+}
+
+func TestImportBundleRejectsCorrupt(t *testing.T) {
+	good := fitScaler(t, 6)
+	counter := good.CounterNames()[0]
+	cases := map[string]func(b *Bundle){
+		"nil":             nil,
+		"future version":  func(b *Bundle) { b.Version = BundleVersion + 1 },
+		"zero version":    func(b *Bundle) { b.Version = 0 },
+		"no response":     func(b *Bundle) { b.Response = "" },
+		"no chars":        func(b *Bundle) { b.CharNames = nil },
+		"no predictors":   func(b *Bundle) { b.Predictors = nil },
+		"nil forest":      func(b *Bundle) { b.Forest = nil },
+		"missing model":   func(b *Bundle) { delete(b.Models, counter) },
+		"renamed model":   func(b *Bundle) { b.Models[counter].Counter = "impostor" },
+		"char mismatch":   func(b *Bundle) { b.Models[counter].Chars = []string{"other"} },
+		"predictor drift": func(b *Bundle) { b.Predictors[0] = b.Predictors[0] + "_x" },
+	}
+	for name, corrupt := range cases {
+		var b *Bundle
+		if corrupt != nil {
+			// Round-trip through JSON for a deep copy to corrupt.
+			raw, err := json.Marshal(good.Export())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b = new(Bundle)
+			if err := json.Unmarshal(raw, b); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(b)
+		}
+		if _, err := ImportBundle(b); err == nil {
+			t.Errorf("%s: corrupted bundle accepted", name)
+		}
+	}
+}
+
+func TestLoadProblemScalerRejectsGarbage(t *testing.T) {
+	for _, src := range []string{"", "not json", `{"version":`, `[1,2,3]`, `{"version":1}`} {
+		if _, err := LoadProblemScaler(strings.NewReader(src)); err == nil {
+			t.Errorf("garbage %q accepted", src)
+		}
+	}
+}
+
+// FuzzLoadBundle: arbitrary bytes must never panic the bundle loader — they
+// either produce a working scaler or an error.
+func FuzzLoadBundle(f *testing.F) {
+	ps := fitScaler(f, 6)
+	var buf bytes.Buffer
+	if err := ps.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	// Seed a structurally plausible but internally inconsistent bundle.
+	f.Add([]byte(strings.Replace(string(valid), `"version":1`, `"version":1,"predictors":["x"]`, 1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := LoadProblemScaler(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A bundle that loads must predict (or error) without panicking.
+		_, _ = ps.PredictTime(map[string]float64{"size": 512})
+	})
+}

@@ -250,27 +250,36 @@ func NewProblemScaler(a *Analysis, k int, kind ModelKind) (*ProblemScaler, error
 // characteristics: retained counters are generated from their models, then
 // the reduced forest maps the assembled vector to time.
 func (ps *ProblemScaler) PredictTime(chars map[string]float64) (float64, error) {
+	t, _, err := ps.PredictDetail(chars)
+	return t, err
+}
+
+// PredictDetail is PredictTime plus the intermediate per-counter
+// predictions the forest consumed — the serving layer's response payload.
+func (ps *ProblemScaler) PredictDetail(chars map[string]float64) (float64, map[string]float64, error) {
 	charVec := make([]float64, len(ps.CharNames))
 	for i, n := range ps.CharNames {
 		v, ok := chars[n]
 		if !ok {
-			return 0, fmt.Errorf("core: missing characteristic %q", n)
+			return 0, nil, fmt.Errorf("core: missing characteristic %q", n)
 		}
 		charVec[i] = v
 	}
+	counters := make(map[string]float64, len(ps.Models))
 	x := make([]float64, len(ps.Reduced.Predictors))
 	for i, name := range ps.Reduced.Predictors {
 		if isCharacteristic(name) {
 			v, ok := chars[name]
 			if !ok {
-				return 0, fmt.Errorf("core: missing characteristic %q", name)
+				return 0, nil, fmt.Errorf("core: missing characteristic %q", name)
 			}
 			x[i] = v
 			continue
 		}
 		x[i] = ps.Models[name].Predict(charVec)
+		counters[name] = x[i]
 	}
-	return ps.Reduced.Forest.Predict(x), nil
+	return ps.Reduced.Forest.Predict(x), counters, nil
 }
 
 // Evaluation compares characteristic-only predictions against measured

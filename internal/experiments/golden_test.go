@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"blackforest/internal/report"
+)
+
+// TestFig2MatchesGoldenCSV re-runs the Figure 2 reduction analysis with the
+// committed configuration (full scale, seed 1 — exactly what produced
+// results/ via `bfbench -exp all -scale full -seed 1`) and requires the
+// emitted partial-dependence CSV to match results/fig2_partial_dependence.csv
+// byte for byte. This pins the whole pipeline — simulator, profiler noise
+// seeding, forest fitting, partial dependence — as run-to-run deterministic;
+// an intentional change to any of those must regenerate results/.
+func TestFig2MatchesGoldenCSV(t *testing.T) {
+	golden, err := os.ReadFile("../../results/fig2_partial_dependence.csv")
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with bfbench -exp all -scale full -seed 1 -csvdir results/): %v", err)
+	}
+
+	res, err := RunReductionAnalysis(1, Options{Scale: Full, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	if err := report.WriteSeriesCSV(&got, res.PDName, res.PDGrid,
+		[]report.Series{{Name: "predicted_time_ms", Y: res.PDResponse}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(got.Bytes(), golden) {
+		t.Fatalf("fig2 partial dependence drifted from the committed golden file.\n"+
+			"If the change is intentional, regenerate results/ with:\n"+
+			"  go run ./cmd/bfbench -exp all -scale full -seed 1 -csvdir results/\n"+
+			"got:\n%s\ngolden:\n%s", got.Bytes(), golden)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"blackforest/internal/rtree"
 	"blackforest/internal/stats"
@@ -292,12 +293,45 @@ func (f *Forest) Predict(x []float64) float64 {
 	return s / float64(len(f.trees))
 }
 
-// PredictAll returns predictions for each row of xs.
+// predictAllSeqThreshold is the batch size below which PredictAll stays
+// sequential: goroutine startup costs more than a handful of tree walks.
+const predictAllSeqThreshold = 4
+
+// PredictAll returns predictions for each row of xs. Rows are independent,
+// so large batches are spread over a worker pool (Config.Workers goroutines,
+// or all CPUs for loaded models); the result is identical to the sequential
+// loop for every worker count.
 func (f *Forest) PredictAll(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = f.Predict(x)
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 || len(xs) < predictAllSeqThreshold {
+		for i, x := range xs {
+			out[i] = f.Predict(x)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(xs) {
+					return
+				}
+				out[i] = f.Predict(xs[i])
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 

@@ -1,0 +1,55 @@
+package forest
+
+import "testing"
+
+// TestPredictAllParallelMatchesSequential pins the worker-pool contract: for
+// every worker count (including the sequential path), PredictAll returns
+// exactly what a plain Predict loop would.
+func TestPredictAllParallelMatchesSequential(t *testing.T) {
+	x, y, names := friedman1(200, 9)
+	for _, workers := range []int{1, 2, 3, 7, 32} {
+		f, err := Fit(x, y, names, Config{NTrees: 50, Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, len(x))
+		for i, row := range x {
+			want[i] = f.Predict(row)
+		}
+		got := f.PredictAll(x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: row %d: PredictAll %v != Predict %v", workers, i, got[i], want[i])
+			}
+		}
+		// Tiny batches take the sequential path; they must agree too.
+		small := f.PredictAll(x[:2])
+		for i := range small {
+			if small[i] != want[i] {
+				t.Fatalf("workers=%d: small-batch row %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestLoadedForestPredictAllParallel: a forest loaded from a bundle has no
+// fit-time worker config (Workers=0 → all CPUs); the parallel path must
+// still match sequential prediction bit for bit.
+func TestLoadedForestPredictAllParallel(t *testing.T) {
+	x, y, names := friedman1(150, 10)
+	f, err := Fit(x, y, names, Config{NTrees: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Import(f.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.PredictAll(x)
+	got := loaded.PredictAll(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: loaded forest predicts %v, fitted %v", i, got[i], want[i])
+		}
+	}
+}

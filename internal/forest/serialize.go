@@ -5,15 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"blackforest/internal/rtree"
 )
 
-// savedForest is the on-disk form of a fitted forest: the trees and the
+// Exported is the serializable form of a fitted forest: the trees and the
 // training-derived statistics, but not the training data itself. A loaded
 // forest predicts and reports importance; partial dependence (which needs
 // the training distribution) is unavailable and returns an error.
-type savedForest struct {
+type Exported struct {
 	Version  int                   `json:"version"`
 	Names    []string              `json:"names"`
 	Trees    []*rtree.ExportedTree `json:"trees"`
@@ -29,59 +30,63 @@ type savedForest struct {
 
 const saveVersion = 1
 
-// Save writes the forest as JSON.
-func (f *Forest) Save(w io.Writer) error {
-	s := savedForest{
+// Export returns the forest in serializable form.
+func (f *Forest) Export() *Exported {
+	e := &Exported{
 		Version:  saveVersion,
-		Names:    f.names,
+		Names:    append([]string(nil), f.names...),
 		Trees:    make([]*rtree.ExportedTree, len(f.trees)),
 		OOBMSE:   f.oobMSE,
 		VarExpl:  f.varExpl,
-		RawImp:   f.rawImp,
-		ImpSE:    f.impSE,
-		Purity:   f.purity,
+		RawImp:   append([]float64(nil), f.rawImp...),
+		ImpSE:    append([]float64(nil), f.impSE...),
+		Purity:   append([]float64(nil), f.purity...),
 		MinResp:  f.minResp,
 		MaxResp:  f.maxResp,
 		NSamples: f.nSamples,
 	}
 	for i, t := range f.trees {
-		s.Trees[i] = t.Export()
+		e.Trees[i] = t.Export()
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&s)
+	return e
 }
 
-// Load reads a forest saved with Save. The result predicts and reports
-// importance exactly as the original; methods needing the training data
-// (PartialDependence, OOBPredictions) report that it is absent.
-func Load(r io.Reader) (*Forest, error) {
-	var s savedForest
-	if err := json.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("forest: decoding saved model: %w", err)
+// Import reconstructs a forest from its exported form with the same
+// validation as Load. The result predicts and reports importance exactly as
+// the original; methods needing the training data (PartialDependence,
+// OOBPredictions) report that it is absent.
+func Import(e *Exported) (*Forest, error) {
+	if e == nil {
+		return nil, errors.New("forest: nil exported model")
 	}
-	if s.Version != saveVersion {
-		return nil, fmt.Errorf("forest: unsupported model version %d", s.Version)
+	if e.Version != saveVersion {
+		return nil, fmt.Errorf("forest: unsupported model version %d", e.Version)
 	}
-	if len(s.Trees) == 0 {
+	if len(e.Trees) == 0 {
 		return nil, errors.New("forest: saved model has no trees")
 	}
-	p := len(s.Names)
-	if p == 0 || len(s.RawImp) != p || len(s.ImpSE) != p || len(s.Purity) != p {
+	p := len(e.Names)
+	if p == 0 || len(e.RawImp) != p || len(e.ImpSE) != p || len(e.Purity) != p {
 		return nil, errors.New("forest: saved model has inconsistent predictor metadata")
 	}
+	for j := 0; j < p; j++ {
+		if math.IsNaN(e.RawImp[j]) || math.IsNaN(e.ImpSE[j]) || math.IsNaN(e.Purity[j]) {
+			return nil, fmt.Errorf("forest: importance of predictor %d is NaN", j)
+		}
+	}
 	f := &Forest{
-		trees:    make([]*rtree.Tree, len(s.Trees)),
-		names:    s.Names,
-		oobMSE:   s.OOBMSE,
-		varExpl:  s.VarExpl,
-		rawImp:   s.RawImp,
-		impSE:    s.ImpSE,
-		purity:   s.Purity,
-		minResp:  s.MinResp,
-		maxResp:  s.MaxResp,
+		trees:    make([]*rtree.Tree, len(e.Trees)),
+		names:    append([]string(nil), e.Names...),
+		oobMSE:   e.OOBMSE,
+		varExpl:  e.VarExpl,
+		rawImp:   append([]float64(nil), e.RawImp...),
+		impSE:    append([]float64(nil), e.ImpSE...),
+		purity:   append([]float64(nil), e.Purity...),
+		minResp:  e.MinResp,
+		maxResp:  e.MaxResp,
 		nSamples: 0, // training data not persisted
 	}
-	for i, et := range s.Trees {
+	for i, et := range e.Trees {
 		t, err := rtree.Import(et)
 		if err != nil {
 			return nil, fmt.Errorf("forest: tree %d: %w", i, err)
@@ -92,4 +97,18 @@ func Load(r io.Reader) (*Forest, error) {
 		f.trees[i] = t
 	}
 	return f, nil
+}
+
+// Save writes the forest as JSON.
+func (f *Forest) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(f.Export())
+}
+
+// Load reads a forest saved with Save.
+func Load(r io.Reader) (*Forest, error) {
+	var e Exported
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("forest: decoding saved model: %w", err)
+	}
+	return Import(&e)
 }

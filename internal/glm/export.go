@@ -1,0 +1,74 @@
+package glm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blackforest/internal/jsonx"
+)
+
+// ExportedModel is the serializable form of a fitted GLM.
+type ExportedModel struct {
+	Family     string        `json:"family"`
+	Names      []string      `json:"names"`
+	Coef       []float64     `json:"coef"`
+	Deviance   jsonx.Float64 `json:"deviance"`
+	NullDev    jsonx.Float64 `json:"null_deviance"`
+	Iterations int           `json:"iterations"`
+}
+
+// Export returns the model in serializable form.
+func (m *Model) Export() *ExportedModel {
+	return &ExportedModel{
+		Family:     m.Family.String(),
+		Names:      append([]string(nil), m.Names...),
+		Coef:       append([]float64(nil), m.Coef...),
+		Deviance:   jsonx.Float64(m.Deviance),
+		NullDev:    jsonx.Float64(m.NullDev),
+		Iterations: m.Iterations,
+	}
+}
+
+// parseFamily inverts Family.String.
+func parseFamily(s string) (Family, error) {
+	for _, f := range []Family{Gaussian, Poisson, GammaLog} {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("glm: unknown family %q", s)
+}
+
+// Import reconstructs a model from its exported form, validating shape and
+// finiteness so a corrupted file errors instead of producing a model that
+// panics or emits NaNs on Predict.
+func Import(e *ExportedModel) (*Model, error) {
+	if e == nil {
+		return nil, errors.New("glm: nil exported model")
+	}
+	family, err := parseFamily(e.Family)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.Names) == 0 {
+		return nil, errors.New("glm: exported model has no predictors")
+	}
+	if len(e.Coef) != len(e.Names)+1 {
+		return nil, fmt.Errorf("glm: %d coefficients for %d predictors (want %d)",
+			len(e.Coef), len(e.Names), len(e.Names)+1)
+	}
+	for i, c := range e.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("glm: coefficient %d is not finite", i)
+		}
+	}
+	return &Model{
+		Family:     family,
+		Names:      append([]string(nil), e.Names...),
+		Coef:       append([]float64(nil), e.Coef...),
+		Deviance:   float64(e.Deviance),
+		NullDev:    float64(e.NullDev),
+		Iterations: e.Iterations,
+	}, nil
+}

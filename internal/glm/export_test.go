@@ -1,0 +1,136 @@
+package glm
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"blackforest/internal/jsonx"
+	"blackforest/internal/stats"
+)
+
+// fitSynthetic fits one model per family on compatible synthetic data.
+func fitSynthetic(t *testing.T, family Family) (*Model, [][]float64) {
+	t.Helper()
+	rng := stats.NewRNG(7)
+	n := 120
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x[i] = []float64{a, b}
+		switch family {
+		case Gaussian:
+			y[i] = 2 + 3*a - b + 0.01*rng.NormFloat64()
+		default:
+			y[i] = math.Exp(0.5 + a - 0.5*b)
+		}
+	}
+	m, err := Fit(x, y, []string{"a", "b"}, family)
+	if err != nil {
+		t.Fatalf("fit %v: %v", family, err)
+	}
+	return m, x
+}
+
+// TestExportImportRoundTrip checks that a JSON round trip preserves every
+// prediction bit for bit across all families.
+func TestExportImportRoundTrip(t *testing.T) {
+	for _, family := range []Family{Gaussian, Poisson, GammaLog} {
+		orig, x := fitSynthetic(t, family)
+
+		raw, err := json.Marshal(orig.Export())
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", family, err)
+		}
+		var e ExportedModel
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatalf("%v: unmarshal: %v", family, err)
+		}
+		loaded, err := Import(&e)
+		if err != nil {
+			t.Fatalf("%v: import: %v", family, err)
+		}
+
+		for i, row := range x {
+			if got, want := loaded.Predict(row), orig.Predict(row); got != want {
+				t.Fatalf("%v: prediction differs at row %d: %v != %v", family, i, got, want)
+			}
+		}
+		// Probe grid beyond the training range.
+		for a := -1.0; a <= 2.0; a += 0.25 {
+			probe := []float64{a, 1.5 - a}
+			if loaded.Predict(probe) != orig.Predict(probe) {
+				t.Fatalf("%v: prediction differs on probe %v", family, probe)
+			}
+		}
+		if loaded.Deviance != orig.Deviance || loaded.NullDev != orig.NullDev {
+			t.Fatalf("%v: deviance statistics differ", family)
+		}
+		if loaded.Family != orig.Family || loaded.Iterations != orig.Iterations {
+			t.Fatalf("%v: metadata differs", family)
+		}
+	}
+}
+
+func TestImportRejectsCorruptModels(t *testing.T) {
+	good, _ := fitSynthetic(t, Gaussian)
+	cases := map[string]func(e *ExportedModel){
+		"nil":            nil,
+		"unknown family": func(e *ExportedModel) { e.Family = "cauchy" },
+		"no names":       func(e *ExportedModel) { e.Names = nil },
+		"short coef":     func(e *ExportedModel) { e.Coef = e.Coef[:1] },
+		"extra coef":     func(e *ExportedModel) { e.Coef = append(e.Coef, 1) },
+		"NaN coef":       func(e *ExportedModel) { e.Coef[0] = math.NaN() },
+		"Inf coef":       func(e *ExportedModel) { e.Coef[1] = math.Inf(1) },
+	}
+	for name, corrupt := range cases {
+		var e *ExportedModel
+		if corrupt != nil {
+			e = good.Export()
+			corrupt(e)
+		}
+		if _, err := Import(e); err == nil {
+			t.Errorf("%s: corrupted model accepted", name)
+		}
+	}
+}
+
+// TestExportIsDeepCopy ensures mutating the export cannot corrupt the model.
+func TestExportIsDeepCopy(t *testing.T) {
+	m, x := fitSynthetic(t, Gaussian)
+	before := m.Predict(x[0])
+	e := m.Export()
+	e.Coef[0] += 100
+	e.Names[0] = "mutated"
+	if m.Predict(x[0]) != before {
+		t.Fatal("mutating the export changed the model")
+	}
+}
+
+// TestNonFiniteDevianceSurvivesJSON pins the jsonx encoding: a model whose
+// deviance is +Inf must still serialize and round-trip.
+func TestNonFiniteDevianceSurvivesJSON(t *testing.T) {
+	m, x := fitSynthetic(t, Gaussian)
+	e := m.Export()
+	e.Deviance = jsonx.Float64(math.Inf(1))
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(e); err != nil {
+		t.Fatalf("encoding +Inf deviance: %v", err)
+	}
+	var e2 ExportedModel
+	if err := json.NewDecoder(&buf).Decode(&e2); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Import(&e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(loaded.Deviance, 1) {
+		t.Fatalf("deviance came back as %v, want +Inf", loaded.Deviance)
+	}
+	if loaded.Predict(x[0]) != m.Predict(x[0]) {
+		t.Fatal("prediction changed")
+	}
+}

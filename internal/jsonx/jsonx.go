@@ -1,0 +1,57 @@
+// Package jsonx holds small JSON encoding helpers shared by the model
+// persistence layer.
+package jsonx
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Float64 marshals like an ordinary float64 but survives non-finite values,
+// which encoding/json rejects outright: NaN and ±Inf are encoded as the
+// strings "NaN", "+Inf", "-Inf". Model bundles use it for summary
+// statistics that can legitimately be non-finite (e.g. a MARS GCV of +Inf
+// when the penalty exceeds the sample count) without aborting the save.
+type Float64 float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float64) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float64) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = Float64(math.NaN())
+		case "+Inf", "Inf":
+			*f = Float64(math.Inf(1))
+		case "-Inf":
+			*f = Float64(math.Inf(-1))
+		default:
+			return fmt.Errorf("jsonx: invalid float string %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float64(v)
+	return nil
+}

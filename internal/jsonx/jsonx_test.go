@@ -1,0 +1,63 @@
+package jsonx
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.25, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1)} {
+		raw, err := json.Marshal(Float64(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		var got Float64
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if float64(got) != v {
+			t.Fatalf("%v round-tripped to %v via %s", v, got, raw)
+		}
+	}
+	// NaN compares unequal to itself, so check it separately.
+	raw, err := json.Marshal(Float64(math.NaN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `"NaN"` {
+		t.Fatalf("NaN encoded as %s", raw)
+	}
+	var got Float64
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(got)) {
+		t.Fatalf("NaN round-tripped to %v", got)
+	}
+}
+
+func TestFiniteValuesEncodePlain(t *testing.T) {
+	raw, err := json.Marshal(Float64(2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "2.5" {
+		t.Fatalf("finite value encoded as %s, want plain number", raw)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	for _, src := range []string{`"nan"`, `"infinity"`, `""`, `true`, `[1]`, `{}`} {
+		var f Float64
+		if err := json.Unmarshal([]byte(src), &f); err == nil {
+			t.Errorf("%s accepted as Float64", src)
+		}
+	}
+	// "Inf" is an accepted alias for "+Inf".
+	var f Float64
+	if err := json.Unmarshal([]byte(`"Inf"`), &f); err != nil || !math.IsInf(float64(f), 1) {
+		t.Fatalf(`"Inf" alias: %v, err %v`, f, err)
+	}
+}

@@ -1,0 +1,97 @@
+package mars
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blackforest/internal/jsonx"
+)
+
+// ExportedHinge is the serializable form of one hinge factor
+// max(0, ±(x_feature − knot)).
+type ExportedHinge struct {
+	Feature int     `json:"f"`
+	Knot    float64 `json:"k"`
+	Pos     bool    `json:"pos,omitempty"`
+}
+
+// ExportedTerm is the serializable form of one basis term (a product of
+// hinges; no factors means the intercept).
+type ExportedTerm struct {
+	Factors []ExportedHinge `json:"factors,omitempty"`
+}
+
+// ExportedModel is the serializable form of a fitted MARS model.
+type ExportedModel struct {
+	Names   []string       `json:"names"`
+	Terms   []ExportedTerm `json:"terms"`
+	Coef    []float64      `json:"coef"`
+	GCV     jsonx.Float64  `json:"gcv"`
+	RSS     jsonx.Float64  `json:"rss"`
+	TrainR2 jsonx.Float64  `json:"train_r2"`
+}
+
+// Export returns the model in serializable form.
+func (m *Model) Export() *ExportedModel {
+	e := &ExportedModel{
+		Names:   append([]string(nil), m.Names...),
+		Terms:   make([]ExportedTerm, len(m.terms)),
+		Coef:    append([]float64(nil), m.Coef...),
+		GCV:     jsonx.Float64(m.GCV),
+		RSS:     jsonx.Float64(m.RSS),
+		TrainR2: jsonx.Float64(m.TrainR2),
+	}
+	for i, t := range m.terms {
+		factors := make([]ExportedHinge, len(t.factors))
+		for j, h := range t.factors {
+			factors[j] = ExportedHinge{Feature: h.feature, Knot: h.knot, Pos: h.pos}
+		}
+		e.Terms[i] = ExportedTerm{Factors: factors}
+	}
+	return e
+}
+
+// Import reconstructs a model from its exported form, validating term
+// structure so a corrupted file cannot cause out-of-range hinge evaluation.
+func Import(e *ExportedModel) (*Model, error) {
+	if e == nil {
+		return nil, errors.New("mars: nil exported model")
+	}
+	if len(e.Names) == 0 {
+		return nil, errors.New("mars: exported model has no predictors")
+	}
+	if len(e.Terms) == 0 {
+		return nil, errors.New("mars: exported model has no basis terms")
+	}
+	if len(e.Coef) != len(e.Terms) {
+		return nil, fmt.Errorf("mars: %d coefficients for %d terms", len(e.Coef), len(e.Terms))
+	}
+	m := &Model{
+		Names:   append([]string(nil), e.Names...),
+		terms:   make([]term, len(e.Terms)),
+		Coef:    append([]float64(nil), e.Coef...),
+		GCV:     float64(e.GCV),
+		RSS:     float64(e.RSS),
+		TrainR2: float64(e.TrainR2),
+	}
+	for i, c := range e.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("mars: coefficient %d is not finite", i)
+		}
+	}
+	for i, et := range e.Terms {
+		factors := make([]hinge, len(et.Factors))
+		for j, eh := range et.Factors {
+			if eh.Feature < 0 || eh.Feature >= len(e.Names) {
+				return nil, fmt.Errorf("mars: term %d hinges on feature %d of %d", i, eh.Feature, len(e.Names))
+			}
+			if math.IsNaN(eh.Knot) || math.IsInf(eh.Knot, 0) {
+				return nil, fmt.Errorf("mars: term %d has a non-finite knot", i)
+			}
+			factors[j] = hinge{feature: eh.Feature, knot: eh.Knot, pos: eh.Pos}
+		}
+		m.terms[i] = term{factors: factors}
+	}
+	return m, nil
+}

@@ -1,0 +1,102 @@
+package mars
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"blackforest/internal/stats"
+)
+
+func fitHingeData(t *testing.T) (*Model, [][]float64) {
+	t.Helper()
+	rng := stats.NewRNG(11)
+	n := 150
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*4, rng.Float64()*4
+		x[i] = []float64{a, b}
+		y[i] = 1 + 2*math.Max(0, a-2) - 1.5*math.Max(0, 2-a) + 0.5*b + 0.01*rng.NormFloat64()
+	}
+	m, err := Fit(x, y, []string{"a", "b"}, Config{})
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	return m, x
+}
+
+// TestExportImportRoundTrip checks that the JSON round trip preserves every
+// prediction bit for bit, including on probes outside the training range.
+func TestExportImportRoundTrip(t *testing.T) {
+	orig, x := fitHingeData(t)
+
+	raw, err := json.Marshal(orig.Export())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var e ExportedModel
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	loaded, err := Import(&e)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+
+	for i, row := range x {
+		if loaded.Predict(row) != orig.Predict(row) {
+			t.Fatalf("prediction differs at row %d", i)
+		}
+	}
+	for a := -2.0; a <= 8.0; a += 0.5 {
+		probe := []float64{a, 8 - a}
+		if loaded.Predict(probe) != orig.Predict(probe) {
+			t.Fatalf("prediction differs on probe %v", probe)
+		}
+	}
+	if loaded.GCV != orig.GCV || loaded.RSS != orig.RSS || loaded.TrainR2 != orig.TrainR2 {
+		t.Fatal("fit statistics differ after round trip")
+	}
+}
+
+func TestImportRejectsCorruptModels(t *testing.T) {
+	good, _ := fitHingeData(t)
+	if len(good.terms) < 2 || len(good.terms[1].factors) == 0 {
+		t.Fatal("fixture fit produced no hinge terms")
+	}
+	cases := map[string]func(e *ExportedModel){
+		"nil":              nil,
+		"no names":         func(e *ExportedModel) { e.Names = nil },
+		"no terms":         func(e *ExportedModel) { e.Terms = nil; e.Coef = nil },
+		"coef mismatch":    func(e *ExportedModel) { e.Coef = e.Coef[:len(e.Coef)-1] },
+		"NaN coef":         func(e *ExportedModel) { e.Coef[0] = math.NaN() },
+		"feature too big":  func(e *ExportedModel) { e.Terms[1].Factors[0].Feature = len(e.Names) },
+		"feature negative": func(e *ExportedModel) { e.Terms[1].Factors[0].Feature = -1 },
+		"NaN knot":         func(e *ExportedModel) { e.Terms[1].Factors[0].Knot = math.NaN() },
+	}
+	for name, corrupt := range cases {
+		var e *ExportedModel
+		if corrupt != nil {
+			e = good.Export()
+			corrupt(e)
+		}
+		if _, err := Import(e); err == nil {
+			t.Errorf("%s: corrupted model accepted", name)
+		}
+	}
+}
+
+// TestExportIsDeepCopy ensures mutating the export cannot corrupt the model.
+func TestExportIsDeepCopy(t *testing.T) {
+	m, x := fitHingeData(t)
+	before := m.Predict(x[0])
+	e := m.Export()
+	e.Coef[0] += 100
+	if len(e.Terms) > 1 && len(e.Terms[1].Factors) > 0 {
+		e.Terms[1].Factors[0].Knot += 100
+	}
+	if m.Predict(x[0]) != before {
+		t.Fatal("mutating the export changed the model")
+	}
+}

@@ -61,14 +61,20 @@ func Import(e *ExportedTree) (*Tree, error) {
 	}
 	if t.purityGain == nil {
 		t.purityGain = make([]float64, e.NFeatures)
+	} else if len(t.purityGain) != e.NFeatures {
+		return nil, fmt.Errorf("rtree: %d purity gains for %d features", len(t.purityGain), e.NFeatures)
 	}
 	for i, n := range e.Nodes {
 		if n.Feature >= e.NFeatures {
 			return nil, fmt.Errorf("rtree: node %d splits on feature %d of %d", i, n.Feature, e.NFeatures)
 		}
 		if n.Feature >= 0 {
-			if n.Left <= 0 || int(n.Left) >= len(e.Nodes) ||
-				n.Right <= 0 || int(n.Right) >= len(e.Nodes) {
+			// Children must come after their parent (the invariant of the
+			// flattened layout grown by Fit): this both bounds the indices
+			// and makes cycles impossible, so Predict on any imported tree
+			// terminates.
+			if int(n.Left) <= i || int(n.Left) >= len(e.Nodes) ||
+				int(n.Right) <= i || int(n.Right) >= len(e.Nodes) {
 				return nil, fmt.Errorf("rtree: node %d has invalid children (%d, %d)", i, n.Left, n.Right)
 			}
 		}

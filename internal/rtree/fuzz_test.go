@@ -1,0 +1,57 @@
+package rtree
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzImport: arbitrary JSON must never panic Import, and any tree that
+// imports successfully must terminate and stay in range on Predict — the
+// child>parent invariant is what makes a walk through a hostile node array
+// safe, so this fuzz target is its regression test.
+func FuzzImport(f *testing.F) {
+	// Seed with a genuine exported tree...
+	x := [][]float64{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {5, 2}, {6, 3}, {7, 3}}
+	y := []float64{0, 0, 1, 1, 4, 4, 9, 9}
+	tree, err := Fit(x, y, nil, Params{MinNodeSize: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(tree.Export())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// ...and structurally hostile variants: cycles, out-of-range children,
+	// self-references, bad feature indices.
+	f.Add([]byte(`{"nodes":[{"f":0,"t":1,"l":0,"r":0,"v":0,"n":1}],"features":2}`))
+	f.Add([]byte(`{"nodes":[{"f":0,"t":1,"l":1,"r":2,"v":0,"n":1},{"f":-1,"v":1,"n":1},{"f":0,"t":2,"l":1,"r":0,"v":0,"n":1}],"features":1}`))
+	f.Add([]byte(`{"nodes":[{"f":5,"v":0,"n":1}],"features":2}`))
+	f.Add([]byte(`{"nodes":[{"f":-1,"v":3,"n":8}],"features":1,"purity":[1,2,3]}`))
+	f.Add([]byte(`{"nodes":[],"features":1}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e ExportedTree
+		if err := json.Unmarshal(data, &e); err != nil {
+			return
+		}
+		tr, err := Import(&e)
+		if err != nil {
+			return
+		}
+		// The imported tree must walk to a leaf on any input without
+		// panicking or looping: probe a few vectors of the declared width.
+		for _, fill := range []float64{0, 1e9, -1e9, math.NaN()} {
+			probe := make([]float64, e.NFeatures)
+			for i := range probe {
+				probe[i] = fill
+			}
+			tr.Predict(probe)
+		}
+		if got := tr.NumNodes(); got != len(e.Nodes) {
+			t.Fatalf("imported tree has %d nodes, exported %d", got, len(e.Nodes))
+		}
+	})
+}

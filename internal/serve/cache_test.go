@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLRUCacheEvictsOldest(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", Prediction{TimeMS: 1})
+	c.put("b", Prediction{TimeMS: 2})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before capacity reached")
+	}
+	// "a" was just used, so inserting "c" must evict "b".
+	c.put("c", Prediction{TimeMS: 3})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("least recently used entry not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("new entry missing")
+	}
+	if c.size() != 2 {
+		t.Fatalf("size %d, want 2", c.size())
+	}
+}
+
+func TestLRUCacheUpdateInPlace(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", Prediction{TimeMS: 1})
+	c.put("a", Prediction{TimeMS: 9})
+	if c.size() != 1 {
+		t.Fatalf("size %d after duplicate put", c.size())
+	}
+	p, _ := c.get("a")
+	if p.TimeMS != 9 {
+		t.Fatalf("stale value %v", p.TimeMS)
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	if newLRUCache(0) != nil || newLRUCache(-5) != nil {
+		t.Fatal("non-positive capacity should disable the cache")
+	}
+}
+
+// TestLRUCacheConcurrent exercises the lock under -race.
+func TestLRUCacheConcurrent(t *testing.T) {
+	c := newLRUCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				c.put(key, Prediction{TimeMS: float64(i)})
+				c.get(key)
+				c.size()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.size() > 8 {
+		t.Fatalf("cache overflowed: %d entries", c.size())
+	}
+}
+
+func TestVectorKey(t *testing.T) {
+	names := []string{"size", "block_size"}
+	k1, ok := vectorKey(names, map[string]float64{"size": 64, "block_size": 256})
+	if !ok {
+		t.Fatal("complete vector not keyed")
+	}
+	k2, _ := vectorKey(names, map[string]float64{"block_size": 256, "size": 64})
+	if k1 != k2 {
+		t.Fatal("key depends on map iteration order")
+	}
+	k3, _ := vectorKey(names, map[string]float64{"size": 65, "block_size": 256})
+	if k1 == k3 {
+		t.Fatal("different vectors share a key")
+	}
+	// Extra characteristics the model doesn't read must not change the key:
+	// the prediction function ignores them, so the cache must too.
+	k4, _ := vectorKey(names, map[string]float64{"size": 64, "block_size": 256, "extra": 1})
+	if k1 != k4 {
+		t.Fatal("unread characteristic changed the key")
+	}
+	if _, ok := vectorKey(names, map[string]float64{"size": 64}); ok {
+		t.Fatal("incomplete vector keyed")
+	}
+	// +0 and -0 are distinct bit patterns; treating them as distinct keys is
+	// safe (worst case a duplicate cache entry), but they must both key.
+	kp, okp := vectorKey(names, map[string]float64{"size": 0, "block_size": 1})
+	kn, okn := vectorKey(names, map[string]float64{"size": math.Copysign(0, -1), "block_size": 1})
+	if !okp || !okn {
+		t.Fatal("zero-valued vectors not keyed")
+	}
+	if kp == kn {
+		t.Fatal("+0 and -0 collided despite distinct bit patterns")
+	}
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the per-endpoint latency samples kept for quantile
+// estimation: a ring buffer of the most recent observations, so /metrics
+// reports recent behavior at O(1) memory.
+const latencyWindow = 2048
+
+// metrics aggregates request counts, a sliding latency window, and cache
+// statistics, rendered in Prometheus text exposition format on /metrics.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // "path|code" → count
+
+	latencies []float64 // seconds; ring buffer
+	latPos    int
+	latCount  int64
+	latSum    float64
+
+	predictions int64
+	cacheHits   int64
+	cacheMisses int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  make(map[string]int64),
+		latencies: make([]float64, 0, latencyWindow),
+	}
+}
+
+// observe records one completed request.
+func (m *metrics) observe(path string, code int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[fmt.Sprintf("%s|%d", path, code)]++
+	if len(m.latencies) < latencyWindow {
+		m.latencies = append(m.latencies, sec)
+	} else {
+		m.latencies[m.latPos] = sec
+		m.latPos = (m.latPos + 1) % latencyWindow
+	}
+	m.latCount++
+	m.latSum += sec
+}
+
+// addPredictions counts served predictions split by cache outcome.
+func (m *metrics) addPredictions(hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.predictions += hits + misses
+	m.cacheHits += hits
+	m.cacheMisses += misses
+}
+
+// quantile returns the q-quantile of sorted xs (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// writePrometheus renders the metrics in Prometheus text format.
+func (m *metrics) writePrometheus(w io.Writer, cacheSize, cacheCap int) {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counts := make([]int64, len(keys))
+	for i, k := range keys {
+		counts[i] = m.requests[k]
+	}
+	window := append([]float64(nil), m.latencies...)
+	latCount, latSum := m.latCount, m.latSum
+	predictions, hits, misses := m.predictions, m.cacheHits, m.cacheMisses
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP bfserve_requests_total Completed HTTP requests by path and status code.")
+	fmt.Fprintln(w, "# TYPE bfserve_requests_total counter")
+	for i, k := range keys {
+		path, code := k, ""
+		if j := strings.LastIndexByte(k, '|'); j >= 0 {
+			path, code = k[:j], k[j+1:]
+		}
+		fmt.Fprintf(w, "bfserve_requests_total{path=%q,code=%q} %d\n", path, code, counts[i])
+	}
+
+	sort.Float64s(window)
+	fmt.Fprintln(w, "# HELP bfserve_request_duration_seconds Request latency over a sliding window.")
+	fmt.Fprintln(w, "# TYPE bfserve_request_duration_seconds summary")
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(w, "bfserve_request_duration_seconds{quantile=\"%g\"} %g\n", q, quantile(window, q))
+	}
+	fmt.Fprintf(w, "bfserve_request_duration_seconds_sum %g\n", latSum)
+	fmt.Fprintf(w, "bfserve_request_duration_seconds_count %d\n", latCount)
+
+	fmt.Fprintln(w, "# HELP bfserve_predictions_total Characteristic vectors predicted (cache hits included).")
+	fmt.Fprintln(w, "# TYPE bfserve_predictions_total counter")
+	fmt.Fprintf(w, "bfserve_predictions_total %d\n", predictions)
+
+	fmt.Fprintln(w, "# HELP bfserve_cache_hits_total Prediction cache hits.")
+	fmt.Fprintln(w, "# TYPE bfserve_cache_hits_total counter")
+	fmt.Fprintf(w, "bfserve_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP bfserve_cache_misses_total Prediction cache misses.")
+	fmt.Fprintln(w, "# TYPE bfserve_cache_misses_total counter")
+	fmt.Fprintf(w, "bfserve_cache_misses_total %d\n", misses)
+
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintln(w, "# HELP bfserve_cache_hit_rate Fraction of predictions served from cache.")
+	fmt.Fprintln(w, "# TYPE bfserve_cache_hit_rate gauge")
+	fmt.Fprintf(w, "bfserve_cache_hit_rate %g\n", rate)
+
+	fmt.Fprintln(w, "# HELP bfserve_cache_entries Current prediction cache entries.")
+	fmt.Fprintln(w, "# TYPE bfserve_cache_entries gauge")
+	fmt.Fprintf(w, "bfserve_cache_entries %d\n", cacheSize)
+	fmt.Fprintln(w, "# HELP bfserve_cache_capacity Prediction cache capacity (0 = disabled).")
+	fmt.Fprintln(w, "# TYPE bfserve_cache_capacity gauge")
+	fmt.Fprintf(w, "bfserve_cache_capacity %d\n", cacheCap)
+}

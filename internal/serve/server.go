@@ -1,0 +1,446 @@
+// Package serve exposes a fitted ProblemScaler as a concurrent HTTP
+// prediction service: the train-once / predict-cheaply split the serving
+// north star needs. A model bundle trained by cmd/blackforest -save is
+// loaded once; every query is then answered from the in-memory forest and
+// counter models, with a bounded LRU cache in front (predictions are a pure
+// function of the characteristic vector, so caching is sound).
+//
+// Endpoints:
+//
+//	POST /v1/predict  single {"chars": {...}} or batched {"batch": [...]}
+//	GET  /v1/model    model metadata, importance table, validation stats
+//	GET  /healthz     liveness
+//	GET  /metrics     Prometheus text: request counts, latency quantiles,
+//	                  cache hit rate
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blackforest/internal/core"
+)
+
+// Config configures the prediction server.
+type Config struct {
+	// Scaler is the loaded prediction model (required).
+	Scaler *core.ProblemScaler
+	// CacheSize bounds the LRU prediction cache in entries
+	// (0 = default 1024, negative = caching disabled).
+	CacheSize int
+	// Workers bounds concurrent per-row prediction inside one batch
+	// request (0 = all CPUs).
+	Workers int
+	// RequestTimeout caps each request's handling time (0 = 15s).
+	RequestTimeout time.Duration
+	// ShutdownGrace is how long Serve waits for in-flight requests after
+	// the context is canceled (0 = 10s).
+	ShutdownGrace time.Duration
+	// MaxBatch caps rows per batched request (0 = 4096).
+	MaxBatch int
+	// MaxBodyBytes caps the request body (0 = 8 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP prediction service.
+type Server struct {
+	scaler  *core.ProblemScaler
+	cache   *lruCache
+	cacheN  int
+	workers int
+	timeout time.Duration
+	grace   time.Duration
+	maxRows int
+	maxBody int64
+	metrics *metrics
+
+	// testHookPredict, when set, runs before each uncached prediction;
+	// tests use it to hold requests in flight across a shutdown.
+	testHookPredict func()
+}
+
+// New validates the configuration and builds a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Scaler == nil {
+		return nil, errors.New("serve: Config.Scaler is required")
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 15 * time.Second
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 10 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	cacheCap := cfg.CacheSize
+	if cacheCap < 0 {
+		cacheCap = 0
+	}
+	return &Server{
+		scaler:  cfg.Scaler,
+		cache:   newLRUCache(cacheCap),
+		cacheN:  cacheCap,
+		workers: cfg.Workers,
+		timeout: cfg.RequestTimeout,
+		grace:   cfg.ShutdownGrace,
+		maxRows: cfg.MaxBatch,
+		maxBody: cfg.MaxBodyBytes,
+		metrics: newMetrics(),
+	}, nil
+}
+
+// PredictRequest is the body of POST /v1/predict: exactly one of Chars
+// (single vector) or Batch (many vectors).
+type PredictRequest struct {
+	Chars map[string]float64   `json:"chars,omitempty"`
+	Batch []map[string]float64 `json:"batch,omitempty"`
+}
+
+// Prediction is one predicted vector: the response estimate and the
+// intermediate per-counter model outputs the forest consumed.
+type Prediction struct {
+	TimeMS   float64            `json:"time_ms"`
+	Counters map[string]float64 `json:"counters"`
+}
+
+// ModelInfo is the compact model identity attached to every prediction.
+type ModelInfo struct {
+	BundleVersion int      `json:"bundle_version"`
+	Response      string   `json:"response"`
+	CharNames     []string `json:"char_names"`
+	TestR2        float64  `json:"test_r2"`
+}
+
+// PredictResponse is the body answering POST /v1/predict.
+type PredictResponse struct {
+	Model       ModelInfo    `json:"model"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodePredictRequest parses and validates a predict body: strict JSON
+// (unknown fields rejected), exactly one of chars/batch, bounded batch
+// size. Malformed input returns an error, never panics.
+func DecodePredictRequest(r io.Reader, maxBatch int) (*PredictRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req PredictRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid JSON: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after request object")
+	}
+	hasChars := req.Chars != nil
+	hasBatch := req.Batch != nil
+	switch {
+	case hasChars && hasBatch:
+		return nil, errors.New(`provide either "chars" or "batch", not both`)
+	case !hasChars && !hasBatch:
+		return nil, errors.New(`provide "chars" (single vector) or "batch" (list of vectors)`)
+	case hasBatch && len(req.Batch) == 0:
+		return nil, errors.New(`"batch" is empty`)
+	case maxBatch > 0 && len(req.Batch) > maxBatch:
+		return nil, fmt.Errorf(`"batch" has %d rows, limit is %d`, len(req.Batch), maxBatch)
+	}
+	for i, row := range req.Batch {
+		if row == nil {
+			return nil, fmt.Errorf("batch row %d is null", i)
+		}
+	}
+	return &req, nil
+}
+
+// modelInfo builds the compact identity block.
+func (s *Server) modelInfo() ModelInfo {
+	return ModelInfo{
+		BundleVersion: core.BundleVersion,
+		Response:      s.scaler.Response(),
+		CharNames:     s.scaler.CharNames,
+		TestR2:        s.scaler.Reduced.TestR2,
+	}
+}
+
+// predictOne answers one characteristic vector, consulting the cache.
+// It returns the prediction and whether it was served from cache.
+func (s *Server) predictOne(chars map[string]float64) (Prediction, bool, error) {
+	key, keyed := "", false
+	if s.cache != nil {
+		key, keyed = vectorKey(s.scaler.CharNames, chars)
+		if keyed {
+			if p, ok := s.cache.get(key); ok {
+				return p, true, nil
+			}
+		}
+	}
+	if s.testHookPredict != nil {
+		s.testHookPredict()
+	}
+	t, counters, err := s.scaler.PredictDetail(chars)
+	if err != nil {
+		return Prediction{}, false, err
+	}
+	p := Prediction{TimeMS: t, Counters: counters}
+	if s.cache != nil && keyed {
+		s.cache.put(key, p)
+	}
+	return p, false, nil
+}
+
+// predictRows answers a batch over the worker pool. Row order is preserved
+// and results are identical for every worker count.
+func (s *Server) predictRows(rows []map[string]float64) ([]Prediction, error) {
+	out := make([]Prediction, len(rows))
+	errs := make([]error, len(rows))
+	var hits, misses int64
+
+	workers := s.workers
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers <= 1 {
+		for i, row := range rows {
+			p, hit, err := s.predictOne(row)
+			out[i], errs[i] = p, err
+			if err == nil {
+				if hit {
+					hits++
+				} else {
+					misses++
+				}
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var ahits, amisses atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(rows) {
+						return
+					}
+					p, hit, err := s.predictOne(rows[i])
+					out[i], errs[i] = p, err
+					if err == nil {
+						if hit {
+							ahits.Add(1)
+						} else {
+							amisses.Add(1)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		hits, misses = ahits.Load(), amisses.Load()
+	}
+	s.metrics.addPredictions(hits, misses)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// handlePredict serves POST /v1/predict.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	req, err := DecodePredictRequest(http.MaxBytesReader(w, r.Body, s.maxBody), s.maxRows)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	rows := req.Batch
+	if req.Chars != nil {
+		rows = []map[string]float64{req.Chars}
+	}
+	preds, err := s.predictRows(rows)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Model: s.modelInfo(), Predictions: preds})
+}
+
+// ImportanceEntry is one row of the model's importance table.
+type ImportanceEntry struct {
+	Name          string  `json:"name"`
+	IncMSE        float64 `json:"inc_mse"`
+	PctIncMSE     float64 `json:"pct_inc_mse"`
+	IncNodePurity float64 `json:"inc_node_purity"`
+}
+
+// CounterModelInfo summarizes one per-counter model.
+type CounterModelInfo struct {
+	Counter          string  `json:"counter"`
+	Kind             string  `json:"kind"`
+	TrainR2          float64 `json:"train_r2"`
+	ResidualDeviance float64 `json:"residual_deviance"`
+}
+
+// ModelReport is the body answering GET /v1/model.
+type ModelReport struct {
+	Model         ModelInfo          `json:"model"`
+	Predictors    []string           `json:"predictors"`
+	NumTrees      int                `json:"num_trees"`
+	OOBMSE        float64            `json:"oob_mse"`
+	VarExplained  float64            `json:"var_explained"`
+	TestMSE       float64            `json:"test_mse"`
+	TestR2        float64            `json:"test_r2"`
+	AvgCounterR2  float64            `json:"avg_counter_r2"`
+	Importance    []ImportanceEntry  `json:"importance"`
+	CounterModels []CounterModelInfo `json:"counter_models"`
+}
+
+// handleModel serves GET /v1/model.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	red := s.scaler.Reduced
+	rep := ModelReport{
+		Model:        s.modelInfo(),
+		Predictors:   red.Predictors,
+		NumTrees:     red.Forest.NumTrees(),
+		OOBMSE:       red.OOBMSE,
+		VarExplained: red.VarExplained,
+		TestMSE:      red.TestMSE,
+		TestR2:       red.TestR2,
+		AvgCounterR2: s.scaler.AverageCounterR2(),
+	}
+	for _, imp := range red.Importance {
+		rep.Importance = append(rep.Importance, ImportanceEntry(imp))
+	}
+	for _, name := range s.scaler.CounterNames() {
+		cm := s.scaler.Models[name]
+		rep.CounterModels = append(rep.CounterModels, CounterModelInfo{
+			Counter:          cm.Counter,
+			Kind:             cm.Kind,
+			TrainR2:          cm.TrainR2,
+			ResidualDeviance: cm.ResidualDeviance,
+		})
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	size := 0
+	if s.cache != nil {
+		size = s.cache.size()
+	}
+	s.metrics.writePrometheus(w, size, s.cacheN)
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency recording.
+func (s *Server) instrument(path string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		s.metrics.observe(path, rec.code, time.Since(start))
+	})
+}
+
+// Handler returns the service's HTTP handler: the prediction endpoints are
+// instrumented and bounded by the per-request timeout.
+func (s *Server) Handler() http.Handler {
+	timeoutBody := `{"error":"request timed out"}`
+	mux := http.NewServeMux()
+	mux.Handle("/v1/predict", s.instrument("/v1/predict",
+		http.TimeoutHandler(http.HandlerFunc(s.handlePredict), s.timeout, timeoutBody)))
+	mux.Handle("/v1/model", s.instrument("/v1/model",
+		http.TimeoutHandler(http.HandlerFunc(s.handleModel), s.timeout, timeoutBody)))
+	mux.Handle("/healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("/metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	return mux
+}
+
+// Serve runs the service on the listener until ctx is canceled, then shuts
+// down gracefully: new connections are refused while in-flight requests get
+// ShutdownGrace to complete.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.grace)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	return nil
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
