@@ -410,14 +410,14 @@ func BenchmarkCollectParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	mkRuns := func() []blackforest.Workload {
-		var runs []blackforest.Workload
-		seed := uint64(1)
-		for n := 64; n <= 4096; n += 64 {
-			seed++
-			runs = append(runs, &blackforest.NeedlemanWunsch{SeqLen: n, Seed: seed})
-		}
-		return runs
+	// Workload construction stays outside the measured loop: the runs are
+	// stateless descriptors (each Collect re-plans them), so rebuilding
+	// them per iteration only added noise to the collection timing.
+	var runs []blackforest.Workload
+	seed := uint64(1)
+	for n := 64; n <= 4096; n += 64 {
+		seed++
+		runs = append(runs, &blackforest.NeedlemanWunsch{SeqLen: n, Seed: seed})
 	}
 	for _, c := range []struct {
 		name    string
@@ -428,7 +428,7 @@ func BenchmarkCollectParallel(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt := blackforest.CollectOptions{MaxSimBlocks: 8, Workers: c.workers}
-				if _, err := blackforest.Collect(dev, mkRuns(), opt); err != nil {
+				if _, err := blackforest.Collect(dev, runs, opt); err != nil {
 					b.Fatal(err)
 				}
 			}

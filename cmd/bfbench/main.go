@@ -11,10 +11,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,12 +24,33 @@ import (
 	"blackforest/internal/report"
 )
 
+// benchReport is the machine-readable run record written by -json: one
+// wall-clock entry per experiment, so CI can archive regeneration timings
+// (BENCH.json) next to the rendered output and track drift across commits.
+type benchReport struct {
+	GeneratedUnix int64             `json:"generated_unix"`
+	GoVersion     string            `json:"go_version"`
+	GOOS          string            `json:"goos"`
+	GOARCH        string            `json:"goarch"`
+	Scale         string            `json:"scale"`
+	Seed          uint64            `json:"seed"`
+	Workers       int               `json:"workers"`
+	Experiments   []benchExperiment `json:"experiments"`
+	TotalMS       float64           `json:"total_ms"`
+}
+
+type benchExperiment struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2..fig8, power, ladder, transpose, histogram, or all")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvdir := flag.String("csvdir", "", "directory for CSV series output (optional)")
 	workers := flag.Int("workers", 0, "concurrent profiling runs during collection (0 = all CPUs)")
+	jsonPath := flag.String("json", "", "write per-experiment timings as JSON to this file (e.g. BENCH.json)")
 	flag.Parse()
 
 	opts := experiments.Options{Seed: *seed, Workers: *workers}
@@ -48,6 +71,15 @@ func main() {
 		names = strings.Split(*exp, ",")
 	}
 
+	rep := benchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Scale:         *scale,
+		Seed:          *seed,
+		Workers:       *workers,
+	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		start := time.Now()
@@ -55,8 +87,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bfbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		rep.Experiments = append(rep.Experiments, benchExperiment{
+			Name: name, MS: float64(elapsed.Microseconds()) / 1e3,
+		})
+		rep.TotalMS += float64(elapsed.Microseconds()) / 1e3
+		fmt.Printf("\n[%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
 	}
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeBenchJSON(path string, rep *benchReport) error {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func run(name string, opts experiments.Options, csvdir string) error {

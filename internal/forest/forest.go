@@ -118,6 +118,14 @@ func Fit(x [][]float64, y []float64, names []string, cfg Config) (*Forest, error
 		seeds[i] = master.Uint64()
 	}
 
+	// Preprocess the design matrix once (column-major copy + per-feature
+	// sorted orderings); every tree shares it, so growing the forest does
+	// no per-tree sorting on presortable features.
+	m, err := rtree.NewMatrix(f.x)
+	if err != nil {
+		return nil, err
+	}
+
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.NTrees)
 	sem := make(chan struct{}, cfg.Workers)
@@ -129,7 +137,7 @@ func Fit(x [][]float64, y []float64, names []string, cfg Config) (*Forest, error
 			defer func() { <-sem }()
 			rng := stats.NewRNG(seeds[t])
 			inBag, oob := rng.Bootstrap(f.nSamples)
-			tree, err := rtree.Fit(f.x, f.y, inBag, rtree.Params{
+			tree, err := rtree.FitMatrix(m, f.y, inBag, rtree.Params{
 				MinNodeSize: cfg.MinNodeSize,
 				MaxDepth:    cfg.MaxDepth,
 				MTry:        cfg.MTry,
@@ -162,6 +170,62 @@ func copyRows(x [][]float64) [][]float64 {
 		out[i] = append([]float64(nil), row...)
 	}
 	return out
+}
+
+// copyRowsFlat deep-copies a design matrix into one flat backing array.
+func copyRowsFlat(x [][]float64) [][]float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	p := len(x[0])
+	flat := make([]float64, len(x)*p)
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = flat[i*p : (i+1)*p]
+		copy(out[i], row)
+	}
+	return out
+}
+
+// forEachGridPoint evaluates fn for every partial-dependence grid point,
+// spreading points over Config.Workers goroutines. Each worker receives its
+// own mutable copy of the training rows plus a per-tree scratch slice, and
+// every grid point writes only its own output index, so results are
+// bit-identical for any worker count.
+func (f *Forest) forEachGridPoint(grid []float64, fn func(g int, v float64, rows [][]float64, perTree []float64)) {
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(grid) {
+		workers = len(grid)
+	}
+	if workers <= 1 {
+		rows := copyRowsFlat(f.x)
+		perTree := make([]float64, len(f.trees))
+		for g, v := range grid {
+			fn(g, v, rows, perTree)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows := copyRowsFlat(f.x)
+			perTree := make([]float64, len(f.trees))
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= len(grid) {
+					return
+				}
+				fn(g, grid[g], rows, perTree)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // computeOOB fills the OOB predictions and the derived error statistics.
@@ -205,7 +269,11 @@ func (f *Forest) computeImportance(seeds []uint64) {
 	sumIncSq := make([]float64, p)
 	trees := 0
 
-	var mu sync.Mutex
+	// Per-tree increases are computed in parallel but reduced sequentially
+	// in tree order: float addition is not associative, so summing in
+	// goroutine-completion order would make the low bits of the importance
+	// scores (and with them near-tied rankings) run-dependent.
+	incs := make([][]float64, len(f.trees))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, f.cfg.Workers)
 	for t := range f.trees {
@@ -217,17 +285,20 @@ func (f *Forest) computeImportance(seeds []uint64) {
 		go func(t int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			inc := f.treeImportance(t, stats.NewRNG(seeds[t]^0x5bf03635))
-			mu.Lock()
-			for j := range inc {
-				sumInc[j] += inc[j]
-				sumIncSq[j] += inc[j] * inc[j]
-			}
-			trees++
-			mu.Unlock()
+			incs[t] = f.treeImportance(t, stats.NewRNG(seeds[t]^0x5bf03635))
 		}(t)
 	}
 	wg.Wait()
+	for _, inc := range incs {
+		if inc == nil {
+			continue
+		}
+		for j := range inc {
+			sumInc[j] += inc[j]
+			sumIncSq[j] += inc[j] * inc[j]
+		}
+		trees++
+	}
 
 	f.rawImp = make([]float64, p)
 	f.impSE = make([]float64, p)
@@ -266,17 +337,36 @@ func (f *Forest) treeImportance(t int, rng *stats.RNG) []float64 {
 	}
 	baseMSE := baseSSE / float64(len(oob))
 
+	// Copy the OOB rows once; for each predictor, overwrite just that
+	// column with permuted values and restore it afterwards. The buffer
+	// passed to Predict holds exactly the values the seed implementation
+	// assembled per row (original row with column j replaced), but the
+	// O(p²·n) per-feature row copies collapse to O(p·n) total.
 	inc := make([]float64, p)
 	perm := make([]int, len(oob))
-	buf := make([]float64, p)
+	flat := make([]float64, len(oob)*p)
+	rows := make([][]float64, len(oob))
+	for k, i := range oob {
+		rows[k] = flat[k*p : (k+1)*p]
+		copy(rows[k], f.x[i])
+	}
+	used := tree.PurityGain()
 	for j := 0; j < p; j++ {
 		copy(perm, oob)
 		rng.ShuffleInts(perm)
+		if used[j] == 0 {
+			// The tree never splits on j, so permuting it cannot change a
+			// single prediction: the full computation would reproduce
+			// baseSSE bit for bit and yield exactly 0. The shuffle above
+			// still runs to keep the RNG stream aligned.
+			continue
+		}
 		var sse float64
 		for k, i := range oob {
-			copy(buf, f.x[i])
-			buf[j] = f.x[perm[k]][j]
-			d := tree.Predict(buf) - f.y[i]
+			save := rows[k][j]
+			rows[k][j] = f.x[perm[k]][j]
+			d := tree.Predict(rows[k]) - f.y[i]
+			rows[k][j] = save
 			sse += d * d
 		}
 		inc[j] = sse/float64(len(oob)) - baseMSE
@@ -444,22 +534,21 @@ func (f *Forest) PartialDependenceCI(name string, gridSize int, level float64) (
 	lo = make([]float64, gridSize)
 	hi = make([]float64, gridSize)
 
-	buf := make([]float64, len(f.names))
-	perTree := make([]float64, len(f.trees))
-	for g, v := range grid {
+	f.forEachGridPoint(grid, func(g int, v float64, rows [][]float64, perTree []float64) {
+		for i := range rows {
+			rows[i][j] = v
+		}
 		for t, tree := range f.trees {
 			var s float64
-			for _, row := range f.x {
-				copy(buf, row)
-				buf[j] = v
-				s += tree.Predict(buf)
+			for _, row := range rows {
+				s += tree.Predict(row)
 			}
 			perTree[t] = s / float64(f.nSamples)
 		}
 		response[g] = stats.Mean(perTree)
 		lo[g] = stats.Quantile(perTree, (1-level)/2)
 		hi[g] = stats.Quantile(perTree, (1+level)/2)
-	}
+	})
 	return grid, response, lo, hi, nil
 }
 
@@ -491,15 +580,13 @@ func (f *Forest) PartialDependence(name string, gridSize int) (grid, response []
 	lo, hi := stats.Min(col), stats.Max(col)
 	grid = stats.Linspace(lo, hi, gridSize)
 	response = make([]float64, gridSize)
-	buf := make([]float64, len(f.names))
-	for g, v := range grid {
+	f.forEachGridPoint(grid, func(g int, v float64, rows [][]float64, _ []float64) {
 		var s float64
-		for _, row := range f.x {
-			copy(buf, row)
-			buf[j] = v
-			s += f.Predict(buf)
+		for i := range rows {
+			rows[i][j] = v
+			s += f.Predict(rows[i])
 		}
 		response[g] = s / float64(f.nSamples)
-	}
+	})
 	return grid, response, nil
 }

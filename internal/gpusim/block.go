@@ -1,12 +1,26 @@
 package gpusim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Slot is an interned handle for per-block kernel state (the functional
+// contents of a __shared__ array). Kernels allocate slots once at package
+// init with NewSlot and index the block's state table directly — no string
+// hashing on the instruction hot path.
+type Slot int
+
+var slotCount atomic.Int64
+
+// NewSlot reserves a new block-state slot. Call it from package-level var
+// initialization, one per distinct shared array a kernel family uses.
+func NewSlot() Slot { return Slot(slotCount.Add(1) - 1) }
 
 // Block executes one thread block: it owns the block's counter accumulator
 // and L1 view and schedules the block's warps cooperatively. Warps run one
 // at a time, yielding at barriers, which makes execution deterministic and
-// lets instruction accounting go lock-free — the SIMT analogue of
-// communicating by channels rather than sharing memory.
+// lets instruction accounting go lock-free.
 type Block struct {
 	dev  *Device
 	cfg  LaunchConfig
@@ -18,15 +32,33 @@ type Block struct {
 	l2       *cache
 
 	// state holds kernel-managed per-block data (the functional contents
-	// of shared memory). Warps of a block execute one at a time, so no
-	// locking is needed.
-	state map[string]any
+	// of shared memory), indexed by Slot. Warps of a block execute one at
+	// a time, so no locking is needed.
+	state []any
+
+	// --- scheduler state (see run) ---
+	kernel KernelFunc
+	panics []any
+	// ring holds the goroutine-backed warps that are still live, in warp
+	// order; cursor is the position of the warp currently holding the
+	// scheduling token. Only the token holder (or the driver between
+	// rounds) touches these, so they need no lock: token hand-offs are
+	// channel operations and give the happens-before edges.
+	ring      []*Warp
+	cursor    int
+	roundDone chan struct{}
+	spawned   bool
+	spawnFrom int
 
 	// segScratch is reused by the coalescer to avoid per-instruction
 	// allocation (a warp access touches at most 64 segments).
 	segScratch [64]uint64
 	// banks is the shared-memory conflict detector's working storage.
 	banks bankScratch
+	// inlineWarp is the reusable Warp value for warps executed directly on
+	// the scheduler goroutine, so barrier-free kernels allocate nothing
+	// per warp.
+	inlineWarp Warp
 }
 
 // KernelFunc is the body of a kernel, invoked once per warp.
@@ -34,51 +66,111 @@ type KernelFunc func(w *Warp)
 
 // run executes the kernel for every warp of the block. It returns an error
 // if any warp panicked (kernel bugs surface as errors, not hangs).
-func (b *Block) run(kernel KernelFunc) (err error) {
+//
+// Warps are run inline on the calling goroutine, one after another, until
+// the first barrier is hit. A kernel with no __syncthreads therefore costs
+// zero goroutines and zero channel operations. When a warp does call Sync,
+// that warp — necessarily the lowest-indexed live warp, since everything
+// before it already ran to completion — becomes the ring driver: its Sync
+// lazily spawns the remaining warps as goroutines and passes a scheduling
+// token around them, realizing CUDA barrier semantics (no warp passes
+// barrier k until all live warps reach it). The token ring visits warps in
+// index order, and the driver always executes its own segment before
+// starting the others' round, so counters and cache state evolve in exactly
+// the order the previous round-robin scheduler produced.
+func (b *Block) run(kernel KernelFunc) error {
 	n := b.cfg.WarpsPerBlock()
-	warps := make([]*Warp, n)
-	panics := make([]any, n)
-	for i := 0; i < n; i++ {
-		warps[i] = &Warp{
-			blk:    b,
-			id:     i,
-			resume: make(chan struct{}),
-			event:  make(chan warpEvent),
-		}
-	}
-	for i, w := range warps {
-		go func(i int, w *Warp) {
-			defer func() {
-				if r := recover(); r != nil {
-					panics[i] = r
-				}
-				// Signal completion even after a panic so the
-				// scheduler never deadlocks.
-				w.event <- evDone
-			}()
-			<-w.resume
-			kernel(w)
-		}(i, w)
-	}
+	b.kernel = kernel
+	b.panics = nil
+	b.ring = nil
+	b.spawned = false
 
-	// Round-robin the warps: each scheduling round runs every live warp
-	// exclusively until its next barrier (or completion). This realizes
-	// CUDA barrier semantics: no warp passes barrier k until all do.
-	active := warps
-	for len(active) > 0 {
-		next := active[:0]
-		for _, w := range active {
-			w.resume <- struct{}{}
-			if <-w.event == evBarrier {
-				next = append(next, w)
+	for i := 0; i < n; i++ {
+		w := &b.inlineWarp
+		*w = Warp{blk: b, id: i}
+		b.runInline(w, i)
+		if b.spawned {
+			// Warp i hit a barrier and drove the remaining warps from
+			// inside Sync; it has now finished (or panicked). Any warps
+			// still parked at a barrier get their remaining rounds here.
+			for len(b.ring) > 0 {
+				b.runRound()
 			}
+			break
 		}
-		active = next
 	}
-	for i, p := range panics {
+	for i, p := range b.panics {
 		if p != nil {
 			return fmt.Errorf("gpusim: kernel panic in block (%d,%d) warp %d: %v", b.idxX, b.idxY, i, p)
 		}
 	}
 	return nil
+}
+
+// runInline executes one warp directly on the scheduler goroutine,
+// converting a kernel panic into a recorded per-warp error.
+func (b *Block) runInline(w *Warp, i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.recordPanic(i, r)
+		}
+	}()
+	b.kernel(w)
+}
+
+func (b *Block) recordPanic(i int, r any) {
+	if b.panics == nil {
+		b.panics = make([]any, b.cfg.WarpsPerBlock())
+	}
+	b.panics[i] = r
+}
+
+// spawn starts goroutines for warps spawnFrom..n-1. Each parks immediately
+// on its resume channel; the first token it receives is its first
+// scheduling round.
+func (b *Block) spawn() {
+	n := b.cfg.WarpsPerBlock()
+	b.spawned = true
+	b.roundDone = make(chan struct{})
+	for j := b.spawnFrom; j < n; j++ {
+		w := &Warp{blk: b, id: j, resume: make(chan struct{})}
+		b.ring = append(b.ring, w)
+		go func(w *Warp) {
+			defer func() {
+				if r := recover(); r != nil {
+					b.recordPanic(w.id, r)
+				}
+				// The warp is finished: drop it from the ring and pass
+				// the token on, even after a panic, so the scheduler
+				// never deadlocks.
+				b.ring = append(b.ring[:b.cursor], b.ring[b.cursor+1:]...)
+				b.passToken()
+			}()
+			<-w.resume
+			b.kernel(w)
+		}(w)
+	}
+}
+
+// runRound runs one barrier-to-barrier segment of every live ring warp, in
+// warp order, by circulating the token once. Called by the driver warp's
+// Sync (after it has executed its own segment) and by run's drain loop.
+func (b *Block) runRound() {
+	if len(b.ring) == 0 {
+		return
+	}
+	b.cursor = 0
+	b.ring[0].resume <- struct{}{}
+	<-b.roundDone
+}
+
+// passToken hands the scheduling token to the warp at the current cursor,
+// or back to the driver when the round is complete. The caller must hold
+// the token.
+func (b *Block) passToken() {
+	if b.cursor < len(b.ring) {
+		b.ring[b.cursor].resume <- struct{}{}
+	} else {
+		b.roundDone <- struct{}{}
+	}
 }

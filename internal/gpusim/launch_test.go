@@ -48,9 +48,10 @@ func TestBarrierSemantics(t *testing.T) {
 	d, _ := LookupDevice("GTX580")
 	sim := NewSimulator(d)
 	cfg := LaunchConfig{GridDimX: 1, GridDimY: 1, BlockDimX: 128, BlockDimY: 1, RegsPerThread: 8, SharedMemPerBlock: 64}
+	flagSlot := NewSlot()
 	ok := true
 	_, err := sim.Launch(cfg, func(w *Warp) {
-		shared := w.SharedF32("flag", 1)
+		shared := w.SharedF32(flagSlot, 1)
 		if w.WarpID() == 3 { // a late warp writes
 			shared[0] = 42
 		}

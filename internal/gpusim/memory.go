@@ -1,33 +1,44 @@
 package gpusim
 
+import "math/bits"
+
 // This file models the memory subsystem: set-associative LRU caches and
 // the warp-level access coalescer. Together they produce the transaction
 // and hit/miss events behind the paper's memory counters.
 
 // cache is a set-associative cache with LRU replacement, tracking only tags
 // (the simulator moves no data — kernels compute on ordinary Go memory).
+// Line sizes are always powers of two, so the line index is a shift; set
+// counts often are not (a 1.5 MB L2 has 3072 sets), so set selection keeps
+// a modulo fallback beside the fast mask path.
 type cache struct {
-	sets     [][]uint64 // per set, tags in MRU-first order
-	ways     int
-	lineSize uint64
-	numSets  uint64
-	accesses uint64
-	misses   uint64
+	sets      [][]uint64 // per set, tags in MRU-first order
+	ways      int
+	lineSize  uint64
+	lineShift uint
+	numSets   uint64
+	setMask   uint64 // numSets-1 when numSets is a power of two, else 0
+	accesses  uint64
+	misses    uint64
 }
 
 // newCache builds a cache of the given total size, line size, and
 // associativity. Sizes that do not divide evenly are rounded down to at
-// least one set.
+// least one set. lineSize must be a power of two.
 func newCache(sizeBytes, lineSize, ways int) *cache {
 	numSets := sizeBytes / (lineSize * ways)
 	if numSets < 1 {
 		numSets = 1
 	}
 	c := &cache{
-		sets:     make([][]uint64, numSets),
-		ways:     ways,
-		lineSize: uint64(lineSize),
-		numSets:  uint64(numSets),
+		sets:      make([][]uint64, numSets),
+		ways:      ways,
+		lineSize:  uint64(lineSize),
+		lineShift: uint(bits.TrailingZeros64(uint64(lineSize))),
+		numSets:   uint64(numSets),
+	}
+	if numSets&(numSets-1) == 0 {
+		c.setMask = uint64(numSets - 1)
 	}
 	return c
 }
@@ -36,8 +47,13 @@ func newCache(sizeBytes, lineSize, ways int) *cache {
 // It reports whether the access hit.
 func (c *cache) access(addr uint64) bool {
 	c.accesses++
-	line := addr / c.lineSize
-	set := line % c.numSets
+	line := addr >> c.lineShift
+	var set uint64
+	if c.setMask != 0 {
+		set = line & c.setMask
+	} else {
+		set = line % c.numSets
+	}
 	ways := c.sets[set]
 	for i, tag := range ways {
 		if tag == line {
@@ -71,13 +87,12 @@ func (c *cache) reset() {
 // counters: a fully coalesced warp access to 4-byte words touches
 // ⌈32·4/segment⌉ segments; a strided or scattered access touches up to 32.
 func coalesce(buf []uint64, mask Mask, addrs *[WarpSize]uint64, accessBytes uint32, segment uint64) []uint64 {
+	shift := uint(bits.TrailingZeros64(segment)) // segment is 32 or 128
 	segs := buf[:0]
-	for lane := 0; lane < WarpSize; lane++ {
-		if !mask.Active(lane) {
-			continue
-		}
-		first := addrs[lane] / segment
-		last := (addrs[lane] + uint64(accessBytes) - 1) / segment
+	for rem := uint32(mask); rem != 0; rem &= rem - 1 {
+		lane := bits.TrailingZeros32(rem) // lanes in increasing order
+		first := addrs[lane] >> shift
+		last := (addrs[lane] + uint64(accessBytes) - 1) >> shift
 		for s := first; s <= last; s++ {
 			found := false
 			for _, x := range segs {
@@ -92,7 +107,7 @@ func coalesce(buf []uint64, mask Mask, addrs *[WarpSize]uint64, accessBytes uint
 		}
 	}
 	for i := range segs {
-		segs[i] *= segment
+		segs[i] <<= shift
 	}
 	return segs
 }
@@ -117,12 +132,19 @@ func bankConflictDegree(s *bankScratch, mask Mask, offsets *[WarpSize]uint32, ba
 	// scanning only the words already filed under the same bank.
 	s.counts = [64]uint8{}
 	degree := 1
-	for lane := 0; lane < WarpSize; lane++ {
-		if !mask.Active(lane) {
-			continue
+	bankMask := uint32(0)
+	if banks&(banks-1) == 0 {
+		bankMask = uint32(banks - 1) // every modeled device has 16 or 32 banks
+	}
+	for rem := uint32(mask); rem != 0; rem &= rem - 1 {
+		lane := bits.TrailingZeros32(rem)
+		word := offsets[lane] >> 2
+		var bank uint32
+		if bankMask != 0 {
+			bank = word & bankMask
+		} else {
+			bank = word % uint32(banks)
 		}
-		word := offsets[lane] / 4
-		bank := word % uint32(banks)
 		dup := false
 		for i := uint8(0); i < s.counts[bank]; i++ {
 			if s.words[bank][i] == word {

@@ -1,0 +1,212 @@
+package gpusim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Scheduler regression tests: the inline/token-ring scheduler in Block.run
+// must preserve the semantics of the original goroutine-per-warp
+// round-robin — the same warp-segment execution order (counters and cache
+// state evolve identically), the same panic reporting, and no deadlocks
+// when warps exit early or sync unevenly.
+
+func schedCfg(threads int) LaunchConfig {
+	return LaunchConfig{GridDimX: 1, GridDimY: 1, BlockDimX: threads, BlockDimY: 1,
+		RegsPerThread: 8, SharedMemPerBlock: 64}
+}
+
+func launchOne(t *testing.T, threads int, kernel KernelFunc) error {
+	t.Helper()
+	d, _ := LookupDevice("GTX580")
+	_, err := NewSimulator(d).Launch(schedCfg(threads), kernel, LaunchOptions{})
+	return err
+}
+
+// TestSchedulerSegmentOrder pins the exact interleaving the old round-robin
+// scheduler produced: round k runs segment k of every live warp in warp
+// order. The trace is appended under token ownership, so it is race-free.
+func TestSchedulerSegmentOrder(t *testing.T) {
+	cases := []struct {
+		name  string
+		warps int
+		syncs func(id int) int // barriers each warp executes
+		want  string
+	}{
+		{
+			name: "no_barriers", warps: 4,
+			syncs: func(int) int { return 0 },
+			want:  "w0s0 w1s0 w2s0 w3s0",
+		},
+		{
+			name: "uniform_two_barriers", warps: 3,
+			syncs: func(int) int { return 2 },
+			want:  "w0s0 w1s0 w2s0 w0s1 w1s1 w2s1 w0s2 w1s2 w2s2",
+		},
+		{
+			// Warp 0 never syncs: it completes inline, warp 1 becomes the
+			// ring driver, and rounds cover warps 1..3 only.
+			name: "first_warp_exits_early", warps: 4,
+			syncs: func(id int) int {
+				if id == 0 {
+					return 0
+				}
+				return 1
+			},
+			want: "w0s0 w1s0 w2s0 w3s0 w1s1 w2s1 w3s1",
+		},
+		{
+			// Uneven sync counts: warps drop out of the ring at different
+			// rounds, later rounds shrink, nothing deadlocks.
+			name: "staggered_exit", warps: 4,
+			syncs: func(id int) int { return id },
+			want:  "w0s0 w1s0 w2s0 w3s0 w1s1 w2s1 w3s1 w2s2 w3s2 w3s3",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var trace []string
+			err := launchOne(t, tc.warps*WarpSize, func(w *Warp) {
+				for seg := 0; ; seg++ {
+					trace = append(trace, fmt.Sprintf("w%ds%d", w.WarpID(), seg))
+					if seg >= tc.syncs(w.WarpID()) {
+						return
+					}
+					w.Sync()
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := strings.Join(trace, " "); got != tc.want {
+				t.Fatalf("segment order\ngot:  %s\nwant: %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPanicReportsLowestWarpIndex: when several warps panic, the error
+// names the lowest-indexed one (the order the panics slice is scanned),
+// matching the original scheduler.
+func TestPanicReportsLowestWarpIndex(t *testing.T) {
+	err := launchOne(t, 4*WarpSize, func(w *Warp) {
+		if w.WarpID() >= 2 {
+			panic(fmt.Sprintf("boom %d", w.WarpID()))
+		}
+	})
+	if err == nil {
+		t.Fatal("panicking kernel reported success")
+	}
+	if !strings.Contains(err.Error(), "warp 2: boom 2") {
+		t.Fatalf("error should name warp 2: %v", err)
+	}
+}
+
+// TestPanicInRingDriver: the inline driver warp panics after it has taken
+// over scheduling; the parked ring warps must still be driven to completion
+// and the driver's panic reported.
+func TestPanicInRingDriver(t *testing.T) {
+	finished := make([]bool, 3)
+	err := launchOne(t, 3*WarpSize, func(w *Warp) {
+		w.Sync()
+		if w.WarpID() == 0 {
+			panic("driver bug")
+		}
+		w.Sync()
+		finished[w.WarpID()] = true
+	})
+	if err == nil || !strings.Contains(err.Error(), "warp 0: driver bug") {
+		t.Fatalf("want driver panic surfaced, got %v", err)
+	}
+	if !finished[1] || !finished[2] {
+		t.Fatalf("ring warps not drained after driver panic: %v", finished)
+	}
+}
+
+// TestPanicInRingWarp: a goroutine-backed warp panics between barriers; the
+// driver and the remaining ring warps must complete.
+func TestPanicInRingWarp(t *testing.T) {
+	finished := make([]bool, 3)
+	err := launchOne(t, 3*WarpSize, func(w *Warp) {
+		w.Sync()
+		if w.WarpID() == 1 {
+			panic("ring bug")
+		}
+		w.Sync()
+		finished[w.WarpID()] = true
+	})
+	if err == nil || !strings.Contains(err.Error(), "warp 1: ring bug") {
+		t.Fatalf("want ring panic surfaced, got %v", err)
+	}
+	if !finished[0] || !finished[2] {
+		t.Fatalf("surviving warps not drained after ring panic: %v", finished)
+	}
+}
+
+// TestPerInstructionAllocs: instruction accounting must not allocate —
+// running 100x more instructions through a block may not change the number
+// of allocations per launch. This guards the coalescer/bank-conflict
+// scratch reuse and the allocation-free instruction methods.
+func TestPerInstructionAllocs(t *testing.T) {
+	d, _ := LookupDevice("GTX580")
+	sim := NewSimulator(d)
+	mk := func(iters int) KernelFunc {
+		return func(w *Warp) {
+			var addrs [WarpSize]uint64
+			var offs [WarpSize]uint32
+			for l := 0; l < WarpSize; l++ {
+				addrs[l] = uint64(4 * l)
+				offs[l] = uint32(4 * l)
+			}
+			full := FullMask()
+			for i := 0; i < iters; i++ {
+				w.IntOps(full, 1)
+				w.GlobalLoad(full, &addrs, 4)
+				w.GlobalStore(full, &addrs, 4)
+				w.SharedLoad(full, &offs)
+				w.SharedStore(full, &offs)
+				w.AtomicGlobalAdd(full, &addrs)
+				w.AtomicSharedAdd(full, &offs)
+				w.Branch(full, full)
+			}
+		}
+	}
+	measure := func(iters int) float64 {
+		kernel := mk(iters)
+		return testing.AllocsPerRun(20, func() {
+			if _, err := sim.Launch(schedCfg(2*WarpSize), kernel, LaunchOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// Slack of 2 absorbs stray background allocations; a real per-
+	// instruction alloc would differ by thousands (500 iters × 8 instrs).
+	small, big := measure(5), measure(500)
+	if big > small+2 {
+		t.Fatalf("allocations scale with instruction count: %v allocs at 5 iters, %v at 500", small, big)
+	}
+}
+
+// TestBarrierFreeKernelAllocs: a kernel with no barriers runs entirely
+// inline — no goroutines, no channels, no per-warp allocation. The whole
+// launch should stay within a small constant allocation budget regardless
+// of warp count.
+func TestBarrierFreeKernelAllocs(t *testing.T) {
+	d, _ := LookupDevice("GTX580")
+	sim := NewSimulator(d)
+	kernel := func(w *Warp) { w.IntOps(FullMask(), 1) }
+	few := testing.AllocsPerRun(20, func() {
+		if _, err := sim.Launch(schedCfg(2*WarpSize), kernel, LaunchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	many := testing.AllocsPerRun(20, func() {
+		if _, err := sim.Launch(schedCfg(16*WarpSize), kernel, LaunchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if many > few+2 {
+		t.Fatalf("barrier-free launch allocates per warp: %v allocs at 2 warps, %v at 16", few, many)
+	}
+}

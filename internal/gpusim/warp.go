@@ -1,5 +1,7 @@
 package gpusim
 
+import "math/bits"
+
 // Mask is a 32-bit active-lane mask: bit i set means lane i executes the
 // instruction. It is the explicit form of SIMT control-flow divergence.
 type Mask uint32
@@ -11,15 +13,7 @@ func FullMask() Mask { return Mask(0xffffffff) }
 func (m Mask) Active(lane int) bool { return m&(1<<uint(lane)) != 0 }
 
 // Count returns the number of active lanes.
-func (m Mask) Count() int {
-	c := 0
-	v := uint32(m)
-	for v != 0 {
-		v &= v - 1
-		c++
-	}
-	return c
-}
+func (m Mask) Count() int { return bits.OnesCount32(uint32(m)) }
 
 // MaskWhere builds a mask from a per-lane predicate.
 func MaskWhere(pred func(lane int) bool) Mask {
@@ -52,16 +46,11 @@ type Warp struct {
 	blk *Block
 	id  int // warp index within the block
 
+	// resume is the scheduling-token channel for goroutine-backed warps;
+	// nil for warps executed inline on the scheduler goroutine (see
+	// Block.run).
 	resume chan struct{}
-	event  chan warpEvent
 }
-
-type warpEvent int
-
-const (
-	evBarrier warpEvent = iota
-	evDone
-)
 
 // WarpID returns the warp's index within its block.
 func (w *Warp) WarpID() int { return w.id }
@@ -289,12 +278,11 @@ func (w *Warp) AtomicGlobalAdd(mask Mask, addrs *[WarpSize]uint64) {
 		c.L2WriteTransactions++
 	}
 	// Atomics resolve at L2; a fraction of lines miss to DRAM.
-	for lane := 0; lane < WarpSize; lane++ {
-		if mask.Active(lane) {
-			if !b.l2.access(addrs[lane] &^ 31) {
-				c.DRAMReadBytes += 32
-				c.DRAMWriteBytes += 32
-			}
+	for rem := uint32(mask); rem != 0; rem &= rem - 1 {
+		lane := bits.TrailingZeros32(rem)
+		if !b.l2.access(addrs[lane] &^ 31) {
+			c.DRAMReadBytes += 32
+			c.DRAMWriteBytes += 32
 		}
 	}
 }
@@ -338,10 +326,8 @@ func addressContention(mask Mask, addrs *[WarpSize]uint64) (degree, unique int) 
 	var backing [WarpSize]entry
 	seen := backing[:0]
 	degree = 1
-	for lane := 0; lane < WarpSize; lane++ {
-		if !mask.Active(lane) {
-			continue
-		}
+	for rem := uint32(mask); rem != 0; rem &= rem - 1 {
+		lane := bits.TrailingZeros32(rem)
 		found := false
 		for i := range seen {
 			if seen[i].addr == addrs[lane] {
@@ -360,43 +346,64 @@ func addressContention(mask Mask, addrs *[WarpSize]uint64) (degree, unique int) 
 	return degree, len(seen)
 }
 
-// BlockState returns the per-block state stored under key, creating it
-// with create on first use. Kernels use this for the functional contents of
+// BlockState returns the per-block state stored in slot, creating it with
+// create on first use. Kernels use this for the functional contents of
 // shared memory (e.g. the reduction scratchpad or matrix tiles), which all
 // warps of a block share. Warps are scheduled one at a time, so access is
-// race-free.
-func (w *Warp) BlockState(key string, create func() any) any {
-	if w.blk.state == nil {
-		w.blk.state = make(map[string]any)
+// race-free. Slots come from NewSlot at package init; indexing a slice
+// beats hashing a string key on every warp invocation.
+func (w *Warp) BlockState(slot Slot, create func() any) any {
+	b := w.blk
+	if int(slot) >= len(b.state) {
+		grown := make([]any, slotCount.Load())
+		copy(grown, b.state)
+		b.state = grown
 	}
-	v, ok := w.blk.state[key]
-	if !ok {
+	v := b.state[slot]
+	if v == nil {
 		v = create()
-		w.blk.state[key] = v
+		b.state[slot] = v
 	}
 	return v
 }
 
 // SharedF32 returns a per-block float32 scratchpad of at least n elements
-// stored under key — the functional view of a __shared__ float array.
-func (w *Warp) SharedF32(key string, n int) []float32 {
-	return w.BlockState(key, func() any { return make([]float32, n) }).([]float32)
+// stored in slot — the functional view of a __shared__ float array.
+func (w *Warp) SharedF32(slot Slot, n int) []float32 {
+	return w.BlockState(slot, func() any { return make([]float32, n) }).([]float32)
 }
 
 // SharedI32 returns a per-block int32 scratchpad of at least n elements —
 // the functional view of a __shared__ int array.
-func (w *Warp) SharedI32(key string, n int) []int32 {
-	return w.BlockState(key, func() any { return make([]int32, n) }).([]int32)
+func (w *Warp) SharedI32(slot Slot, n int) []int32 {
+	return w.BlockState(slot, func() any { return make([]int32, n) }).([]int32)
 }
 
 // Sync executes a block-wide barrier (__syncthreads()). Every live warp of
 // the block must call Sync the same number of times.
 func (w *Warp) Sync() {
-	c := w.blk.counters
+	b := w.blk
+	c := b.counters
 	c.InstExecuted++
 	c.InstIssued++
 	c.ThreadInstExecuted += uint64(w.ValidMask().Count())
 	c.SyncCount++
-	w.event <- evBarrier
+	if w.resume == nil {
+		// Inline warp: it is the lowest-indexed live warp (everything
+		// before it ran to completion without ever syncing), so it drives
+		// the ring — spawning the later warps on first use, then running
+		// one barrier-to-barrier round for them before returning to its
+		// own next segment.
+		if !b.spawned {
+			b.spawnFrom = w.id + 1
+			b.spawn()
+		}
+		b.runRound()
+		return
+	}
+	// Goroutine warp: pass the token to the next ring warp (or close the
+	// round) and park until the next round reaches us.
+	b.cursor++
+	b.passToken()
 	<-w.resume
 }

@@ -130,7 +130,7 @@ func (h *Histogram) kernel() gpusim.KernelFunc {
 
 		var priv []uint32
 		if variant == 1 {
-			priv = w.BlockState("priv", func() any { return make([]uint32, histBins) }).([]uint32)
+			priv = w.BlockState(histPrivSlot, func() any { return make([]uint32, histBins) }).([]uint32)
 			// Zero the private histogram cooperatively (256 words,
 			// blockSize threads): histBins/bdim stores per thread.
 			for o := 0; o < histBins; o += bdim {

@@ -118,8 +118,8 @@ func (m *MatMul) kernel() gpusim.KernelFunc {
 		}
 		w.IntOps(full, 4) // index arithmetic for row/col
 
-		as := w.SharedF32("As", b*b)
-		bs := w.SharedF32("Bs", b*b)
+		as := w.SharedF32(matmulAsSlot, b*b)
+		bs := w.SharedF32(matmulBsSlot, b*b)
 		var acc [gpusim.WarpSize]float32
 
 		tiles := n / b

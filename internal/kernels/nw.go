@@ -173,8 +173,8 @@ func (nw *NeedlemanWunsch) kernel(strip, blockWidth int, topLeft bool) gpusim.Ke
 		index := laneInts(func(l int) int { return base + cols + 1 + tid[l] })
 
 		// temp[17][17] and ref[16][16] in shared memory.
-		temp := w.SharedI32("temp", (nwBlock+1)*(nwBlock+1))
-		refS := w.SharedI32("ref", nwBlock*nwBlock)
+		temp := w.SharedI32(nwTempSlot, (nwBlock+1)*(nwBlock+1))
+		refS := w.SharedI32(nwRefSlot, nwBlock*nwBlock)
 		w.IntOps(active, 6) // index arithmetic
 
 		// temp[0][0] = input[index_nw] (lane 0 only).

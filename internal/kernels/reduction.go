@@ -237,7 +237,7 @@ func writeBlockResult(w *gpusim.Warp, dst []float32, sdata []float32, dstBase ui
 func reduce0(src, dst []float32, n int, srcBase, dstBase uint64) gpusim.KernelFunc {
 	return func(w *gpusim.Warp) {
 		bdim, _ := w.BlockDim()
-		sdata := w.SharedF32("sdata", bdim)
+		sdata := w.SharedF32(reductionSdataSlot, bdim)
 		valid := w.ValidMask()
 		tid := laneInts(w.LinearTID)
 		loadToShared(w, src, sdata, n, srcBase)
@@ -271,7 +271,7 @@ func reduce0(src, dst []float32, n int, srcBase, dstBase uint64) gpusim.KernelFu
 func reduce1(src, dst []float32, n int, srcBase, dstBase uint64) gpusim.KernelFunc {
 	return func(w *gpusim.Warp) {
 		bdim, _ := w.BlockDim()
-		sdata := w.SharedF32("sdata", bdim)
+		sdata := w.SharedF32(reductionSdataSlot, bdim)
 		valid := w.ValidMask()
 		tid := laneInts(w.LinearTID)
 		loadToShared(w, src, sdata, n, srcBase)
@@ -306,7 +306,7 @@ func reduce1(src, dst []float32, n int, srcBase, dstBase uint64) gpusim.KernelFu
 func reduce2(src, dst []float32, n int, srcBase, dstBase uint64) gpusim.KernelFunc {
 	return func(w *gpusim.Warp) {
 		bdim, _ := w.BlockDim()
-		sdata := w.SharedF32("sdata", bdim)
+		sdata := w.SharedF32(reductionSdataSlot, bdim)
 		valid := w.ValidMask()
 		tid := laneInts(w.LinearTID)
 		loadToShared(w, src, sdata, n, srcBase)
@@ -345,7 +345,7 @@ func sequentialReduce(w *gpusim.Warp, sdata []float32, bdim int, valid gpusim.Ma
 func reduce3(src, dst []float32, n int, srcBase, dstBase uint64) gpusim.KernelFunc {
 	return func(w *gpusim.Warp) {
 		bdim, _ := w.BlockDim()
-		sdata := w.SharedF32("sdata", bdim)
+		sdata := w.SharedF32(reductionSdataSlot, bdim)
 		valid := w.ValidMask()
 		tid := laneInts(w.LinearTID)
 		firstAddLoad(w, src, sdata, n, srcBase, valid, &tid)
@@ -395,7 +395,7 @@ func firstAddLoad(w *gpusim.Warp, src []float32, sdata []float32, n int, srcBase
 func reduceUnrolled(src, dst []float32, n int, srcBase, dstBase uint64, fullyUnrolled, gridStride bool) gpusim.KernelFunc {
 	return func(w *gpusim.Warp) {
 		bdim, _ := w.BlockDim()
-		sdata := w.SharedF32("sdata", bdim)
+		sdata := w.SharedF32(reductionSdataSlot, bdim)
 		valid := w.ValidMask()
 		tid := laneInts(w.LinearTID)
 

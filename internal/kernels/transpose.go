@@ -128,7 +128,7 @@ func (t *Transpose) kernel() gpusim.KernelFunc {
 			return
 		}
 
-		tile := w.SharedF32("tile", transTile*tileW)
+		tile := w.SharedF32(transposeTileSlot, transTile*tileW)
 		w.IntOps(full, 4)
 		// Load phase: tile[(ty+j*8)][tx] = in[(by*32+ty+j*8)*n + bx*32+tx].
 		for j := 0; j < transTile/transRows; j++ {

@@ -9,7 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"blackforest/internal/stats"
@@ -56,15 +56,23 @@ type Tree struct {
 	purityGain []float64
 }
 
-// Fit grows a regression tree on rows X (each of equal length) and
-// responses y, using only the sample indices in idx (with multiplicity, as
-// produced by bootstrap sampling). If idx is nil, all rows are used.
-func Fit(x [][]float64, y []float64, idx []int, p Params) (*Tree, error) {
+// Matrix is a training design matrix preprocessed for fast tree growth: a
+// column-major copy of the rows plus, per feature, all row ids sorted by
+// (feature value, id). Building it costs one sort per feature; every tree
+// fitted against it (FitMatrix) then derives its in-bag orderings with a
+// zero-comparison counting walk, so growing a whole forest performs no
+// further sorting on safe features. A Matrix is immutable after
+// construction and safe for concurrent FitMatrix calls.
+type Matrix struct {
+	nrows, nf int
+	col       []float64 // col[f*nrows+row] = x[row][f]
+	ord       []int32   // nf blocks of nrows ids, sorted by (value, id)
+}
+
+// NewMatrix validates rows x and preprocesses them for FitMatrix.
+func NewMatrix(x [][]float64) (*Matrix, error) {
 	if len(x) == 0 {
 		return nil, errors.New("rtree: empty training set")
-	}
-	if len(x) != len(y) {
-		return nil, fmt.Errorf("rtree: %d rows but %d responses", len(x), len(y))
 	}
 	nf := len(x[0])
 	if nf == 0 {
@@ -75,6 +83,72 @@ func Fit(x [][]float64, y []float64, idx []int, p Params) (*Tree, error) {
 			return nil, fmt.Errorf("rtree: ragged row %d (%d features, want %d)", i, len(row), nf)
 		}
 	}
+	nrows := len(x)
+	m := &Matrix{
+		nrows: nrows,
+		nf:    nf,
+		col:   make([]float64, nf*nrows),
+		ord:   make([]int32, nf*nrows),
+	}
+	// Column-major copy of the design matrix: split scans read one
+	// contiguous column instead of chasing a pointer per row.
+	for i, row := range x {
+		for j, v := range row {
+			m.col[j*nrows+i] = v
+		}
+	}
+	for f := 0; f < nf; f++ {
+		block := m.ord[f*nrows : (f+1)*nrows]
+		for i := range block {
+			block[i] = int32(i)
+		}
+		base := f * nrows
+		// (value, id) is a strict total order over distinct ids, so the
+		// result is independent of the sorting algorithm — stable across
+		// Go releases by construction.
+		slices.SortFunc(block, func(a, c int32) int {
+			va, vc := m.col[base+int(a)], m.col[base+int(c)]
+			if va < vc {
+				return -1
+			}
+			if va > vc {
+				return 1
+			}
+			return int(a - c)
+		})
+	}
+	return m, nil
+}
+
+// NumRows returns the number of training rows.
+func (m *Matrix) NumRows() int { return m.nrows }
+
+// NumFeatures returns the number of predictors.
+func (m *Matrix) NumFeatures() int { return m.nf }
+
+// Fit grows a regression tree on rows X (each of equal length) and
+// responses y, using only the sample indices in idx (with multiplicity, as
+// produced by bootstrap sampling). If idx is nil, all rows are used.
+//
+// When fitting many trees on the same rows (a forest), build a Matrix once
+// with NewMatrix and call FitMatrix per tree to share the preprocessing.
+func Fit(x [][]float64, y []float64, idx []int, p Params) (*Tree, error) {
+	if len(x) != 0 && len(x) != len(y) {
+		return nil, fmt.Errorf("rtree: %d rows but %d responses", len(x), len(y))
+	}
+	m, err := NewMatrix(x)
+	if err != nil {
+		return nil, err
+	}
+	return FitMatrix(m, y, idx, p)
+}
+
+// FitMatrix grows a regression tree against a preprocessed Matrix. See Fit.
+func FitMatrix(m *Matrix, y []float64, idx []int, p Params) (*Tree, error) {
+	if m.nrows != len(y) {
+		return nil, fmt.Errorf("rtree: %d rows but %d responses", m.nrows, len(y))
+	}
+	nf := m.nf
 	if p.MinNodeSize <= 0 {
 		p.MinNodeSize = 5
 	}
@@ -85,7 +159,7 @@ func Fit(x [][]float64, y []float64, idx []int, p Params) (*Tree, error) {
 		return nil, errors.New("rtree: MTry > 0 requires an RNG")
 	}
 	if idx == nil {
-		idx = make([]int, len(x))
+		idx = make([]int, m.nrows)
 		for i := range idx {
 			idx[i] = i
 		}
@@ -105,60 +179,192 @@ func Fit(x [][]float64, y []float64, idx []int, p Params) (*Tree, error) {
 		}
 	}
 
-	b := &builder{x: x, y: y, p: p, tree: t}
-	work := make([]int, len(idx))
-	copy(work, idx)
-	b.grow(work, 0)
+	n := len(idx)
+	b := &builder{
+		y:       y,
+		p:       p,
+		tree:    t,
+		m:       m,
+		nrows:   m.nrows,
+		n:       n,
+		col:     m.col,
+		samples: make([]int32, n),
+		ford:    make([]int32, nf*n),
+		safe:    make([]bool, nf),
+		order:   make([]int32, n),
+		tmp:     make([]int32, n),
+		side:    make([]uint8, m.nrows),
+		cand:    make([]int, nf),
+	}
+	for i, v := range idx {
+		b.samples[i] = int32(v)
+	}
+	if p.MTry == 0 || p.MTry >= nf {
+		// Plain CART: candidate set is always the identity; fill it once.
+		for i := range b.cand {
+			b.cand[i] = i
+		}
+	}
+	// sortCmp reproduces the seed comparator (value-only, ascending) for the
+	// per-node fallback sort. Built once per tree so sorting allocates nothing.
+	b.sortCmp = func(a, c int32) int {
+		va, vc := b.col[b.sortBase+int(a)], b.col[b.sortBase+int(c)]
+		if va < vc {
+			return -1
+		}
+		if va > vc {
+			return 1
+		}
+		return 0
+	}
+	b.presort()
+	b.grow(0, n, 0)
 	return t, nil
 }
 
 // builder carries shared state during recursive growth.
+//
+// The hot-path layout follows the sklearn/ranger presort-and-partition
+// scheme: samples holds the in-bag row ids in recursion order, and ford
+// holds, per feature, the same ids sorted by that feature's value. Both are
+// indexed by the same [start, end) node ranges; grow re-partitions them in
+// place as it recurses, so split scans on presorted ("safe") features never
+// sort. Features whose tied values carry unequal responses fall back to an
+// exact per-node sort (see presort for why). All per-node scratch (order,
+// tmp, side, cand) is preallocated once per tree — growing a node allocates
+// nothing beyond the appended tree node itself.
 type builder struct {
-	x    [][]float64
 	y    []float64
 	p    Params
 	tree *Tree
+	m    *Matrix
+
+	nrows   int       // rows in the full design matrix
+	n       int       // in-bag sample count (len(idx), with multiplicity)
+	col     []float64 // column-major matrix: col[f*nrows+row] = x[row][f]
+	samples []int32   // row ids in recursion order; partitioned in place
+	ford    []int32   // per-feature sorted orderings: nf blocks of n ids
+	safe    []bool    // per feature: presorted path is bit-exact (see presort)
+	order   []int32   // per-node sort buffer for unsafe features
+	tmp     []int32   // stable-partition scratch for right-side ids
+	side    []uint8   // per row id: 1 if the current split sends it left
+	cand    []int     // candidate-feature scratch (identity for plain CART)
+
+	sortBase int                  // column offset for sortCmp
+	sortCmp  func(a, c int32) int // fallback comparator (built once per tree)
 }
 
-// grow builds the subtree over samples idx at the given depth and returns
-// the node's index in the flattened array.
-func (b *builder) grow(idx []int, depth int) int32 {
+// presort builds, for every feature, the in-bag ids sorted by feature value
+// (ties broken by row id for a deterministic total order), and classifies
+// each feature as safe or unsafe for the presorted path.
+//
+// Bit-identity argument. The seed implementation re-sorted each node's ids
+// with sort.Slice (value-only comparator), so the order of ids *within a
+// run of equal values* was whatever pdqsort produced at that node; the split
+// scan's running sums add y in that order, and float addition is not
+// associative. The presorted ordering has a different (stable) tie order,
+// which is harmless exactly when every run of equal feature values carries
+// equal responses: then the scan's y sequence is identical position by
+// position regardless of tie order, and every sum, SSE, threshold, and
+// comparison reproduces the seed bit for bit. Bootstrap-duplicated rows
+// always satisfy this (same row, same y); continuous features with no
+// cross-row collisions satisfy it vacuously. Features that violate it
+// (distinct rows colliding on a value with different y — common in raw GPU
+// counter columns) are marked unsafe, and bestSplit re-sorts them per node
+// with the exact seed pdqsort permutation (slices.SortFunc — same generated
+// algorithm as sort.Slice, on the same initial order with the same
+// comparator), so those scans are bit-identical too, just without the
+// presort savings.
+func (b *builder) presort() {
+	// Derive each feature's in-bag ordering from the Matrix's full-row
+	// ordering by multiplicity expansion: walking all rows in (value, id)
+	// order and emitting each id count[id] times yields exactly the in-bag
+	// multiset sorted by (value, id) — no comparisons per tree.
+	count := make([]int32, b.nrows)
+	for _, id := range b.samples {
+		count[id]++
+	}
+	for f := 0; f < b.tree.nFeatures; f++ {
+		full := b.m.ord[f*b.nrows : (f+1)*b.nrows]
+		dst := b.ford[f*b.n : (f+1)*b.n]
+		base := f * b.nrows
+		safe := true
+		w := 0
+		prevV, prevY := math.NaN(), 0.0
+		for _, id := range full {
+			c := count[id]
+			if c == 0 {
+				continue
+			}
+			for ; c > 0; c-- {
+				dst[w] = id
+				w++
+			}
+			// Safety check, fused into the walk: a value collision between
+			// distinct in-bag rows with unequal responses breaks the
+			// order-invariance of tied sums (duplicates of one row always
+			// agree with themselves, so checking distinct ids suffices).
+			v, yv := b.col[base+int(id)], b.y[id]
+			if v == prevV && yv != prevY {
+				safe = false
+			}
+			prevV, prevY = v, yv
+		}
+		b.safe[f] = safe
+	}
+}
+
+// grow builds the subtree over samples[start:end] at the given depth and
+// returns the node's index in the flattened array.
+func (b *builder) grow(start, end, depth int) int32 {
 	me := int32(len(b.tree.nodes))
 	b.tree.nodes = append(b.tree.nodes, node{feature: -1})
 
 	var sum float64
-	for _, i := range idx {
-		sum += b.y[i]
+	for _, id := range b.samples[start:end] {
+		sum += b.y[id]
 	}
-	mean := sum / float64(len(idx))
+	n := end - start
+	mean := sum / float64(n)
 	b.tree.nodes[me].value = mean
-	b.tree.nodes[me].count = len(idx)
+	b.tree.nodes[me].count = n
 
-	if len(idx) < b.p.MinNodeSize*2 || (b.p.MaxDepth > 0 && depth >= b.p.MaxDepth) {
+	if n < b.p.MinNodeSize*2 || (b.p.MaxDepth > 0 && depth >= b.p.MaxDepth) {
 		return me
 	}
 
-	feat, thresh, gain, ok := b.bestSplit(idx, mean)
+	feat, thresh, gain, ok := b.bestSplit(start, end, mean)
 	if !ok {
 		return me
 	}
 
-	left := idx[:0:0]
-	right := idx[:0:0]
-	for _, i := range idx {
-		if b.x[i][feat] <= thresh {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+	fbase := feat * b.nrows
+	nl := 0
+	for _, id := range b.samples[start:end] {
+		var goLeft uint8
+		if b.col[fbase+int(id)] <= thresh {
+			goLeft = 1
 		}
+		b.side[id] = goLeft
+		nl += int(goLeft)
 	}
-	if len(left) == 0 || len(right) == 0 {
+	if nl == 0 || nl == n {
 		return me // degenerate split; keep as leaf
 	}
 
+	// Stable partition: recursion order and every safe feature's sorted
+	// order survive the split, so child nodes need no re-sorting. Unsafe
+	// features re-sort per node anyway, so their orderings are not kept up.
+	b.partition(b.samples[start:end], nl)
+	for f := 0; f < b.tree.nFeatures; f++ {
+		if b.safe[f] {
+			b.partition(b.ford[f*b.n+start:f*b.n+end], nl)
+		}
+	}
+
 	b.tree.purityGain[feat] += gain
-	l := b.grow(left, depth+1)
-	r := b.grow(right, depth+1)
+	l := b.grow(start, start+nl, depth+1)
+	r := b.grow(start+nl, end, depth+1)
 	b.tree.nodes[me].feature = feat
 	b.tree.nodes[me].threshold = thresh
 	b.tree.nodes[me].left = l
@@ -166,14 +372,35 @@ func (b *builder) grow(idx []int, depth int) int32 {
 	return me
 }
 
+// partition stably moves the ids flagged in side to the front of seg,
+// preserving relative order on both sides. nl is the left-side count.
+// Both stores are unconditional (the left store at w never clobbers an
+// unread slot because w never exceeds the read cursor), which keeps the
+// loop free of data-dependent branches — side flags are effectively random,
+// so a branching version mispredicts half the time.
+func (b *builder) partition(seg []int32, nl int) {
+	tmp := b.tmp
+	w, r := 0, 0
+	for _, id := range seg {
+		s := int(b.side[id])
+		seg[w] = id
+		tmp[r] = id
+		w += s
+		r += 1 - s
+	}
+	copy(seg[nl:], tmp[:r])
+}
+
 // bestSplit scans candidate features for the split minimizing the summed
 // within-child SSE. It returns the feature, threshold, the SSE decrease
 // relative to the unsplit node, and whether any valid split was found.
-func (b *builder) bestSplit(idx []int, mean float64) (feat int, thresh, gain float64, ok bool) {
-	n := len(idx)
+// Each candidate scan walks the presorted ford range for this node, so the
+// cost is O(n) per feature with cache-linear column reads — no sorting.
+func (b *builder) bestSplit(start, end int, mean float64) (feat int, thresh, gain float64, ok bool) {
+	n := end - start
 	var parentSSE float64
-	for _, i := range idx {
-		d := b.y[i] - mean
+	for _, id := range b.samples[start:end] {
+		d := b.y[id] - mean
 		parentSSE += d * d
 	}
 	if parentSSE <= 0 {
@@ -181,37 +408,49 @@ func (b *builder) bestSplit(idx []int, mean float64) (feat int, thresh, gain flo
 	}
 
 	candidates := b.candidateFeatures()
-	order := make([]int, n)
 	bestSSE := math.Inf(1)
 	for _, f := range candidates {
-		copy(order, idx)
-		sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
+		base := f * b.nrows
+		var ord []int32
+		if b.safe[f] {
+			ord = b.ford[f*b.n+start : f*b.n+end]
+		} else {
+			// Exact seed fallback: same initial order (node recursion
+			// order), same comparator, same pdqsort — same permutation.
+			ord = b.order[:n]
+			copy(ord, b.samples[start:end])
+			b.sortBase = base
+			slices.SortFunc(ord, b.sortCmp)
+		}
 
 		// Scan splits with running sums: left prefix vs right suffix.
 		var sumL, sqL float64
 		sumR, sqR := 0.0, 0.0
-		for _, i := range order {
-			sumR += b.y[i]
-			sqR += b.y[i] * b.y[i]
+		for _, id := range ord {
+			yi := b.y[id]
+			sumR += yi
+			sqR += yi * yi
 		}
+		v := b.col[base+int(ord[0])]
 		for k := 0; k < n-1; k++ {
-			yi := b.y[order[k]]
+			yi := b.y[ord[k]]
 			sumL += yi
 			sqL += yi * yi
 			sumR -= yi
 			sqR -= yi * yi
+			vNext := b.col[base+int(ord[k+1])]
 			// Cannot split between identical feature values.
-			if b.x[order[k]][f] == b.x[order[k+1]][f] {
-				continue
+			if v != vNext {
+				nl, nr := float64(k+1), float64(n-k-1)
+				sse := (sqL - sumL*sumL/nl) + (sqR - sumR*sumR/nr)
+				if sse < bestSSE {
+					bestSSE = sse
+					feat = f
+					thresh = (v + vNext) / 2
+					ok = true
+				}
 			}
-			nl, nr := float64(k+1), float64(n-k-1)
-			sse := (sqL - sumL*sumL/nl) + (sqR - sumR*sumR/nr)
-			if sse < bestSSE {
-				bestSSE = sse
-				feat = f
-				thresh = (b.x[order[k]][f] + b.x[order[k+1]][f]) / 2
-				ok = true
-			}
+			v = vNext
 		}
 	}
 	if !ok {
@@ -226,16 +465,15 @@ func (b *builder) bestSplit(idx []int, mean float64) (feat int, thresh, gain flo
 
 // candidateFeatures returns the feature indices to consider at this node:
 // all of them for plain CART, or MTry sampled without replacement for RF.
+// It reuses the per-builder cand buffer; the MTry path consumes the RNG
+// stream exactly as SampleWithoutReplacement (Perm then truncate) did.
 func (b *builder) candidateFeatures() []int {
 	nf := b.tree.nFeatures
 	if b.p.MTry == 0 || b.p.MTry >= nf {
-		all := make([]int, nf)
-		for i := range all {
-			all[i] = i
-		}
-		return all
+		return b.cand
 	}
-	return b.p.RNG.SampleWithoutReplacement(nf, b.p.MTry)
+	b.p.RNG.PermInto(b.cand)
+	return b.cand[:b.p.MTry]
 }
 
 // Predict returns the tree's response for the feature vector x.

@@ -80,11 +80,18 @@ func (r *RNG) NormFloat64() float64 {
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)). It consumes
+// exactly the same generator stream as Perm(len(p)), so hot paths can reuse
+// a buffer without perturbing any downstream random sequence.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.ShuffleInts(p)
-	return p
 }
 
 // ShuffleInts permutes xs in place (Fisher–Yates).
