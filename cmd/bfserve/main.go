@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"blackforest/internal/core"
+	"blackforest/internal/faults"
 	"blackforest/internal/serve"
 )
 
@@ -32,6 +33,8 @@ func main() {
 	cache := flag.Int("cache", 1024, "LRU prediction cache entries (negative disables)")
 	workers := flag.Int("workers", 0, "concurrent predictions per batch request (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 15*time.Second, "per-request timeout")
+	maxInFlight := flag.Int("max-inflight", 256, "concurrent predict requests before load shedding with 503 (negative disables shedding)")
+	faultSpec := flag.String("faults", "", `fault injection spec, e.g. "seed=42,error=0.05,latency=0.1,spike=50ms,corrupt=0.01" (chaos testing; empty = off)`)
 	flag.Parse()
 
 	if *model == "" {
@@ -39,19 +42,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	scaler, err := core.LoadProblemScalerFile(*model)
+	faultCfg, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	injector := faults.New(faultCfg)
+
+	scaler, err := loadScaler(*model, injector)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("loaded %s: response %s, %d trees over %v (test R² %.3f, %d counter models)\n",
 		*model, scaler.Response(), scaler.Reduced.Forest.NumTrees(),
 		scaler.Reduced.Predictors, scaler.Reduced.TestR2, len(scaler.Models))
+	if scaler.Degradation != nil {
+		fmt.Printf("warning: model was trained on a %s\n", scaler.Degradation)
+	}
+	if injector != nil {
+		fmt.Printf("chaos: fault injection active (%s)\n", faultCfg)
+	}
 
 	srv, err := serve.New(serve.Config{
 		Scaler:         scaler,
 		CacheSize:      *cache,
 		Workers:        *workers,
 		RequestTimeout: *timeout,
+		MaxInFlight:    *maxInFlight,
+		Faults:         injector,
 	})
 	if err != nil {
 		fatal(err)
@@ -64,6 +81,18 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("bfserve: shut down cleanly")
+}
+
+// loadScaler reads the bundle, threading the injector's corrupt/truncate
+// profile into the read so bundle-load failure handling can be exercised
+// end to end (a nil injector reads the file verbatim).
+func loadScaler(path string, injector *faults.Injector) (*core.ProblemScaler, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadProblemScaler(injector.WrapReader(f, faults.HashString(path)))
 }
 
 func fatal(err error) {

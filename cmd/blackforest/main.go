@@ -18,9 +18,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"blackforest/internal/core"
 	"blackforest/internal/dataset"
+	"blackforest/internal/faults"
 	"blackforest/internal/gpusim"
 	"blackforest/internal/kernels"
 	"blackforest/internal/profiler"
@@ -40,7 +42,16 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent profiling runs during collection (0 = all CPUs)")
 	save := flag.String("save", "", "write the trained prediction model (forest + counter models) as a JSON bundle")
 	load := flag.String("load", "", "load a saved model bundle instead of profiling and training")
+	faultSpec := flag.String("faults", "", `fault injection spec, e.g. "seed=42,runfail=0.2,dropout=0.1" (chaos testing; empty = off)`)
+	retries := flag.Int("retries", 0, "extra attempts for a failed profiling run (with -faults)")
+	completeness := flag.Float64("completeness", core.DefaultMinCompleteness, "column completeness threshold for degraded collections: lower columns are dropped, higher are mean-imputed")
 	flag.Parse()
+
+	faultCfg, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	injector := faults.New(faultCfg)
 
 	if *load != "" {
 		scaler, err := core.LoadProblemScalerFile(*load)
@@ -50,6 +61,9 @@ func main() {
 		fmt.Printf("loaded %s: response %s, %d trees over %v (test R² %.3f, %d counter models, mean counter R² %.3f)\n",
 			*load, scaler.Response(), scaler.Reduced.Forest.NumTrees(),
 			scaler.Reduced.Predictors, scaler.Reduced.TestR2, len(scaler.Models), scaler.AverageCounterR2())
+		if scaler.Degradation != nil {
+			fmt.Printf("warning: model was trained on a %s\n", scaler.Degradation)
+		}
 		if *predict != "" {
 			if err := predictSizes(scaler, *predict); err != nil {
 				fatal(err)
@@ -59,6 +73,7 @@ func main() {
 	}
 
 	var frame *dataset.Frame
+	var degradation *core.Degradation
 	if *data != "" {
 		var err error
 		frame, err = dataset.LoadCSV(*data)
@@ -80,9 +95,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("collecting %d runs of %s on %s...\n", len(runs), *kernel, dev.Name)
-		frame, err = core.Collect(dev, runs, core.CollectOptions{MaxSimBlocks: *simBlocks, Seed: *seed, Workers: *workers})
+		frame, degradation, err = core.CollectWithReport(dev, runs, core.CollectOptions{
+			MaxSimBlocks:    *simBlocks,
+			Seed:            *seed,
+			Workers:         *workers,
+			Faults:          injector,
+			Retries:         *retries,
+			RetryBackoff:    10 * time.Millisecond,
+			MinCompleteness: *completeness,
+		})
 		if err != nil {
 			fatal(err)
+		}
+		if degradation != nil {
+			fmt.Printf("warning: partial collection — %s\n", degradation)
 		}
 	}
 
@@ -159,6 +185,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Record how the training data was repaired, so the saved bundle (and
+	// anything serving it) discloses the degraded fit.
+	scaler.Degradation = degradation
 	if *save != "" {
 		if err := scaler.SaveFile(*save); err != nil {
 			fatal(err)

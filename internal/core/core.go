@@ -17,8 +17,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"blackforest/internal/dataset"
+	"blackforest/internal/faults"
 	"blackforest/internal/forest"
 	"blackforest/internal/gpusim"
 	"blackforest/internal/profiler"
@@ -80,6 +82,20 @@ type CollectOptions struct {
 	// produces the same frame bit for bit — per-run noise derives from
 	// the workload identity, not from sweep position.
 	Workers int
+	// Faults optionally injects simulated collection failures; nil (the
+	// default) leaves collection bit-identical to historic behavior.
+	Faults *faults.Injector
+	// Retries is how many extra attempts a failed run gets (0 = fail
+	// fast).
+	Retries int
+	// RetryBackoff is the base delay between attempts (attempt k waits
+	// RetryBackoff << k-1).
+	RetryBackoff time.Duration
+	// MinCompleteness is the column-completeness threshold for degraded
+	// collections (0 selects DefaultMinCompleteness). Counter columns
+	// below it are dropped; at or above it, missing cells are
+	// mean-imputed.
+	MinCompleteness float64
 }
 
 // Collect profiles every workload run on the device and assembles the
@@ -89,23 +105,36 @@ type CollectOptions struct {
 // cannot inform the forest. Runs are profiled concurrently per
 // CollectOptions.Workers; rows keep input order regardless.
 func Collect(dev *gpusim.Device, runs []profiler.Workload, opt CollectOptions) (*dataset.Frame, error) {
+	frame, _, err := CollectWithReport(dev, runs, opt)
+	return frame, err
+}
+
+// CollectWithReport is Collect plus the degradation report: when fault
+// injection (or a future lossy collector) leaves counters missing from
+// some runs, the returned Degradation records which columns were dropped
+// or mean-imputed. It is nil for a complete collection, whose frame is
+// bit-identical to historic Collect output.
+func CollectWithReport(dev *gpusim.Device, runs []profiler.Workload, opt CollectOptions) (*dataset.Frame, *Degradation, error) {
 	if len(runs) == 0 {
-		return nil, errors.New("core: no runs to collect")
+		return nil, nil, errors.New("core: no runs to collect")
 	}
 	p := profiler.New(dev, profiler.Options{
 		MaxSimBlocks: opt.MaxSimBlocks,
 		NoiseSigma:   opt.NoiseSigma,
 		Seed:         opt.Seed,
+		Faults:       opt.Faults,
+		Retries:      opt.Retries,
+		RetryBackoff: opt.RetryBackoff,
 	})
 	profiles, err := p.RunAll(runs, opt.Workers)
 	if err != nil {
-		return nil, fmt.Errorf("core: collecting: %w", err)
+		return nil, nil, fmt.Errorf("core: collecting: %w", err)
 	}
-	frame, err := profiler.ToFrame(profiles)
+	frame, deg, err := assembleFrame(profiles, opt.MinCompleteness)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return frame.DropConstantColumns(responseColumns...), nil
+	return frame.DropConstantColumns(responseColumns...), deg, nil
 }
 
 // Predictors returns the frame's predictor columns: everything except the

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"blackforest/internal/dataset"
+	"blackforest/internal/profiler"
+)
+
+// DefaultMinCompleteness is the default column-completeness threshold for
+// degraded collections: counters observed in fewer than this fraction of
+// runs are dropped from the frame; counters at or above it are kept with
+// missing cells mean-imputed.
+const DefaultMinCompleteness = 0.8
+
+// DegradedColumn records what happened to one incomplete counter column.
+type DegradedColumn struct {
+	Name string `json:"name"`
+	// Completeness is the fraction of runs that reported the counter.
+	Completeness float64 `json:"completeness"`
+	// Action is "dropped" or "imputed".
+	Action string `json:"action"`
+	// ImputedValue is the column mean substituted into missing cells
+	// (present only when Action is "imputed").
+	ImputedValue float64 `json:"imputed_value,omitempty"`
+}
+
+// Degradation describes how an incomplete collection was repaired before
+// training. It is recorded in the saved model bundle so a served model
+// discloses that it was fit on degraded data.
+type Degradation struct {
+	// MinCompleteness is the threshold that decided drop vs impute.
+	MinCompleteness float64 `json:"min_completeness"`
+	// Rows is the number of collected runs.
+	Rows int `json:"rows"`
+	// Columns lists every counter column that was incomplete, sorted by
+	// name.
+	Columns []DegradedColumn `json:"columns"`
+}
+
+// Dropped returns the names of columns removed from the frame.
+func (d *Degradation) Dropped() []string { return d.withAction("dropped") }
+
+// Imputed returns the names of columns kept with mean-imputed cells.
+func (d *Degradation) Imputed() []string { return d.withAction("imputed") }
+
+func (d *Degradation) withAction(action string) []string {
+	if d == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range d.Columns {
+		if c.Action == action {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// String renders a one-line summary for CLI warnings.
+func (d *Degradation) String() string {
+	if d == nil || len(d.Columns) == 0 {
+		return "complete collection"
+	}
+	return fmt.Sprintf("degraded collection over %d runs: %d column(s) dropped (%s), %d imputed (%s) at threshold %g",
+		d.Rows, len(d.Dropped()), strings.Join(d.Dropped(), ", "),
+		len(d.Imputed()), strings.Join(d.Imputed(), ", "), d.MinCompleteness)
+}
+
+// validateDegradation checks a bundle's degradation record so a corrupt
+// or hand-edited bundle errors at load instead of reporting nonsense.
+func validateDegradation(d *Degradation) error {
+	if d == nil {
+		return nil
+	}
+	if d.MinCompleteness < 0 || d.MinCompleteness > 1 || math.IsNaN(d.MinCompleteness) {
+		return fmt.Errorf("core: bundle degradation threshold %v out of [0,1]", d.MinCompleteness)
+	}
+	if d.Rows < 0 {
+		return fmt.Errorf("core: bundle degradation has negative row count %d", d.Rows)
+	}
+	for _, c := range d.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("core: bundle degradation column with empty name")
+		}
+		if c.Completeness < 0 || c.Completeness >= 1 || math.IsNaN(c.Completeness) {
+			return fmt.Errorf("core: bundle degradation column %q completeness %v out of [0,1)", c.Name, c.Completeness)
+		}
+		switch c.Action {
+		case "dropped":
+		case "imputed":
+			if math.IsNaN(c.ImputedValue) || math.IsInf(c.ImputedValue, 0) {
+				return fmt.Errorf("core: bundle degradation column %q has non-finite imputed value", c.Name)
+			}
+		default:
+			return fmt.Errorf("core: bundle degradation column %q has unknown action %q", c.Name, c.Action)
+		}
+	}
+	return nil
+}
+
+// assembleFrame tabulates profiles into a modeling frame, tolerating
+// counters missing from some runs (injected dropout, or real multi-pass
+// collection loss). When every profile is complete it defers to
+// profiler.ToFrame, taking the exact historic code path so fault-free
+// collections stay bit-identical. Otherwise it assembles the union of
+// counters, drops columns observed in fewer than minCompleteness of the
+// runs, mean-imputes the rest, and reports the decisions.
+func assembleFrame(profiles []*profiler.Profile, minCompleteness float64) (*dataset.Frame, *Degradation, error) {
+	degradedAny := false
+	for _, p := range profiles {
+		if len(p.Dropped) > 0 {
+			degradedAny = true
+			break
+		}
+	}
+	if !degradedAny {
+		f, err := profiler.ToFrame(profiles)
+		return f, nil, err
+	}
+	if minCompleteness <= 0 {
+		minCompleteness = DefaultMinCompleteness
+	}
+	if len(profiles) == 0 {
+		return nil, nil, fmt.Errorf("profiler: no profiles to tabulate")
+	}
+
+	first := profiles[0]
+	charNames := make([]string, 0, len(first.Characteristics))
+	for n := range first.Characteristics {
+		charNames = append(charNames, n)
+	}
+	sort.Strings(charNames)
+
+	// The counter vocabulary is the union of everything any run reported
+	// or lost — so a counter dropped from every run is still recorded.
+	metricSet := make(map[string]bool)
+	for _, p := range profiles {
+		if p.Device != first.Device {
+			return nil, nil, fmt.Errorf("profiler: mixed devices %s and %s in one frame", first.Device, p.Device)
+		}
+		for n := range p.Metrics {
+			metricSet[n] = true
+		}
+		for _, n := range p.Dropped {
+			metricSet[n] = true
+		}
+	}
+	metricNames := make([]string, 0, len(metricSet))
+	for n := range metricSet {
+		metricNames = append(metricNames, n)
+	}
+	sort.Strings(metricNames)
+
+	rows := len(profiles)
+	deg := &Degradation{MinCompleteness: minCompleteness, Rows: rows}
+	f := dataset.New()
+
+	// Column order matches profiler.ToFrame: AppendRow adopts sorted row
+	// keys, so the historic layout is every column name sorted together.
+	allNames := make([]string, 0, len(charNames)+len(metricNames)+2)
+	allNames = append(allNames, charNames...)
+	allNames = append(allNames, metricNames...)
+	allNames = append(allNames, ResponseColumn, PowerColumn)
+	sort.Strings(allNames)
+
+	for _, name := range allNames {
+		switch name {
+		case ResponseColumn:
+			col := make([]float64, rows)
+			for i, p := range profiles {
+				col[i] = p.TimeMS
+			}
+			if err := f.AddColumn(name, col); err != nil {
+				return nil, nil, err
+			}
+			continue
+		case PowerColumn:
+			col := make([]float64, rows)
+			for i, p := range profiles {
+				col[i] = p.PowerW
+			}
+			if err := f.AddColumn(name, col); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		if _, isChar := first.Characteristics[name]; isChar {
+			col := make([]float64, rows)
+			for i, p := range profiles {
+				v, ok := p.Characteristics[name]
+				if !ok {
+					return nil, nil, fmt.Errorf("profiler: profile missing characteristic %q", name)
+				}
+				col[i] = v
+			}
+			if err := f.AddColumn(name, col); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+
+		col := make([]float64, rows)
+		present := make([]bool, rows)
+		n, sum := 0, 0.0
+		for i, p := range profiles {
+			if v, ok := p.Metrics[name]; ok {
+				col[i], present[i] = v, true
+				n++
+				sum += v
+			}
+		}
+		completeness := float64(n) / float64(rows)
+		if completeness >= 1 {
+			if err := f.AddColumn(name, col); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		if completeness < minCompleteness {
+			deg.Columns = append(deg.Columns, DegradedColumn{
+				Name: name, Completeness: completeness, Action: "dropped",
+			})
+			continue
+		}
+		mean := sum / float64(n)
+		if math.IsNaN(mean) || math.IsInf(mean, 0) {
+			return nil, nil, fmt.Errorf("core: column %q mean is not finite; cannot impute", name)
+		}
+		for i := range col {
+			if !present[i] {
+				col[i] = mean
+			}
+		}
+		if err := f.AddColumn(name, col); err != nil {
+			return nil, nil, err
+		}
+		deg.Columns = append(deg.Columns, DegradedColumn{
+			Name: name, Completeness: completeness, Action: "imputed", ImputedValue: mean,
+		})
+	}
+	return f, deg, nil
+}

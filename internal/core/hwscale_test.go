@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"blackforest/internal/dataset"
+	"blackforest/internal/gpusim"
+	"blackforest/internal/kernels"
+	"blackforest/internal/profiler"
+	"blackforest/internal/stats"
+)
+
+// profileOn runs one workload on the named device with every block
+// simulated and noise disabled, so counters are exact and comparable
+// across architectures.
+func profileOn(t *testing.T, device string, w profiler.Workload) *profiler.Profile {
+	t.Helper()
+	dev, err := gpusim.LookupDevice(device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profiler.New(dev, profiler.Options{MaxSimBlocks: 0, NoiseSigma: -1}).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestFermiKeplerCounterMapping(t *testing.T) {
+	// The §7 counter-evolution problem, pinned: Fermi reports shared-memory
+	// conflicts as one l1_shared_bank_conflict event; Kepler splits the
+	// same replays into shared_load_replay and shared_store_replay. Both
+	// modeled devices have 32 banks, so the event totals must map exactly.
+	cases := []struct {
+		name string
+		mk   func(seed uint64) profiler.Workload
+	}{
+		// reduce1's strided indexing conflicts heavily; reduce2 is the
+		// zero-counter edge (conflict-free, all replay events 0).
+		{"reduce1-conflicting", func(seed uint64) profiler.Workload {
+			return &kernels.Reduction{Variant: 1, N: 4096, BlockSize: 256, Seed: seed}
+		}},
+		{"reduce2-zero-conflicts", func(seed uint64) profiler.Workload {
+			return &kernels.Reduction{Variant: 2, N: 4096, BlockSize: 256, Seed: seed}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fermi := profileOn(t, "GTX580", tc.mk(11)).Metrics
+			kepler := profileOn(t, "K20m", tc.mk(11)).Metrics
+
+			for _, name := range []string{"shared_load_replay", "shared_store_replay"} {
+				if _, ok := fermi[name]; ok {
+					t.Errorf("Fermi exposes Kepler-only counter %s", name)
+				}
+			}
+			for _, name := range []string{"l1_shared_bank_conflict", "l1_global_load_hit", "l1_global_load_miss"} {
+				if _, ok := kepler[name]; ok {
+					t.Errorf("Kepler exposes Fermi-only counter %s", name)
+				}
+			}
+			conflict, ok := fermi["l1_shared_bank_conflict"]
+			if !ok {
+				t.Fatal("Fermi profile lacks l1_shared_bank_conflict")
+			}
+			replays := kepler["shared_load_replay"] + kepler["shared_store_replay"]
+			if conflict != replays {
+				t.Errorf("Fermi conflicts %v != Kepler replay sum %v", conflict, replays)
+			}
+			if tc.name == "reduce2-zero-conflicts" && conflict != 0 {
+				t.Errorf("conflict-free kernel reports %v conflicts", conflict)
+			}
+		})
+	}
+}
+
+func TestCommonColumnsTable(t *testing.T) {
+	mk := func(names ...string) *dataset.Frame {
+		cols := make([][]float64, len(names))
+		for i := range cols {
+			cols[i] = []float64{1, 2}
+		}
+		f, err := dataset.FromColumns(names, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	cases := []struct {
+		name string
+		a, b []string
+		want []string
+	}{
+		{
+			name: "identical vocabularies",
+			a:    []string{"size", "gld_request", ResponseColumn},
+			b:    []string{"size", "gld_request", ResponseColumn},
+			want: []string{"size", "gld_request", ResponseColumn},
+		},
+		{
+			// Fermi-only vs Kepler-only replay counters drop out; the
+			// shared events survive in a's order.
+			name: "arch-specific counters excluded",
+			a:    []string{"l1_shared_bank_conflict", "gld_request", "size", ResponseColumn},
+			b:    []string{"shared_load_replay", "shared_store_replay", "size", "gld_request", ResponseColumn},
+			want: []string{"gld_request", "size", ResponseColumn},
+		},
+		{
+			// A degraded target collection dropped a counter entirely: the
+			// cross-device vocabulary must shrink accordingly.
+			name: "column lost to degradation",
+			a:    []string{"size", "gld_request", "shared_load", ResponseColumn},
+			b:    []string{"size", "gld_request", ResponseColumn},
+			want: []string{"size", "gld_request", ResponseColumn},
+		},
+		{
+			name: "no overlap",
+			a:    []string{"alpha", "beta"},
+			b:    []string{"gamma", "delta"},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := commonColumns(mk(tc.a...), mk(tc.b...))
+			if len(got) != len(tc.want) {
+				t.Fatalf("commonColumns = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("commonColumns = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// hwFrame builds a synthetic two-counter frame where size drives time, and
+// appends any extra named columns with the given generator.
+func hwFrame(t *testing.T, seed uint64, n int, extra map[string]func(i int, size float64) float64) *dataset.Frame {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	names := []string{"size", "gld_request", ResponseColumn}
+	sizes := make([]float64, n)
+	counter := make([]float64, n)
+	times := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := float64(64 * (1 + rng.Intn(32)))
+		sizes[i] = s
+		counter[i] = 2 * s
+		times[i] = 0.001*s + 0.0005*rng.NormFloat64()
+	}
+	cols := [][]float64{sizes, counter, times}
+	for name, gen := range extra {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = gen(i, sizes[i])
+		}
+		names = append(names, name)
+		cols = append(cols, col)
+	}
+	f, err := dataset.FromColumns(names, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestHardwareScaleEdgeCases(t *testing.T) {
+	devA := mustLookup(t, "GTX580")
+	devB := mustLookup(t, "K20m")
+	zero := func(int, float64) float64 { return 0 }
+	prop := func(_ int, s float64) float64 { return 3 * s }
+	cases := []struct {
+		name         string
+		extraTrain   map[string]func(int, float64) float64
+		extraTarget  map[string]func(int, float64) float64
+		wantInCommon string // a column that must survive into the model
+	}{
+		{
+			// A counter that never fires (conflict-free kernel) is constant
+			// zero on both devices; training must not blow up on it.
+			name:        "zero counter on both devices",
+			extraTrain:  map[string]func(int, float64) float64{"l2_write_transactions": zero},
+			extraTarget: map[string]func(int, float64) float64{"l2_write_transactions": zero},
+		},
+		{
+			// Fermi trains with l1_shared_bank_conflict, Kepler reports the
+			// replay pair instead: none of the three are shared, so the
+			// cross-device forest falls back to the common events.
+			name:        "kepler-only replay counters",
+			extraTrain:  map[string]func(int, float64) float64{"l1_shared_bank_conflict": prop},
+			extraTarget: map[string]func(int, float64) float64{"shared_load_replay": prop, "shared_store_replay": prop},
+		},
+		{
+			// Degraded target collection dropped shared_load below the
+			// completeness threshold: only the train side still has it.
+			name:       "target column dropped by degradation",
+			extraTrain: map[string]func(int, float64) float64{"shared_load": prop},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hw, err := HardwareScale(
+				hwFrame(t, 1, 60, tc.extraTrain),
+				hwFrame(t, 2, 60, tc.extraTarget),
+				devA, devB, quickConfig(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hw.Straightforward == nil || hw.Mixed == nil {
+				t.Fatal("evaluations missing")
+			}
+			for _, ev := range []*Evaluation{hw.Straightforward, hw.Mixed} {
+				if math.IsNaN(ev.R2) || math.IsInf(ev.R2, 0) {
+					t.Fatalf("non-finite R² %v", ev.R2)
+				}
+				if len(ev.Predicted) == 0 {
+					t.Fatal("no predictions on the held-out target rows")
+				}
+				for _, p := range ev.Predicted {
+					if math.IsNaN(p) || math.IsInf(p, 0) {
+						t.Fatalf("non-finite prediction %v", p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFitAndEvaluateUsablePredictors(t *testing.T) {
+	pool := hwFrame(t, 3, 60, nil)
+	test := hwFrame(t, 4, 20, nil)
+	cases := []struct {
+		name       string
+		predictors []string
+		wantErr    string
+	}{
+		{name: "all present", predictors: []string{"size", "gld_request"}},
+		// Predictors lost to degradation or architecture mismatch are
+		// silently skipped as long as one survives.
+		{name: "some missing", predictors: []string{"l1_shared_bank_conflict", "size"}},
+		{name: "none usable", predictors: []string{"l1_shared_bank_conflict", "shared_load_replay"},
+			wantErr: "no usable predictors"},
+		{name: "empty list", predictors: nil, wantErr: "no usable predictors"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ev, err := fitAndEvaluate(pool, test, tc.predictors, quickConfig(5))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ev.Predicted) != test.NumRows() {
+				t.Fatalf("%d predictions for %d test rows", len(ev.Predicted), test.NumRows())
+			}
+		})
+	}
+}
+
+// mustLookup returns the named device or fails the test.
+func mustLookup(t *testing.T, name string) *gpusim.Device {
+	t.Helper()
+	dev, err := gpusim.LookupDevice(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}

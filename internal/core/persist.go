@@ -149,6 +149,12 @@ type Bundle struct {
 	VarExplained float64 `json:"var_explained"`
 	TestMSE      float64 `json:"test_mse"`
 	TestR2       float64 `json:"test_r2"`
+
+	// Degradation records how an incomplete collection was repaired
+	// before this model was fit (dropped/imputed counter columns). Nil
+	// for models trained on complete data. Reporting-only, like the
+	// validation statistics, so its addition stays within version 1.
+	Degradation *Degradation `json:"degradation,omitempty"`
 }
 
 // Export returns the scaler in serializable form.
@@ -164,6 +170,7 @@ func (ps *ProblemScaler) Export() *Bundle {
 		VarExplained: ps.Reduced.VarExplained,
 		TestMSE:      ps.Reduced.TestMSE,
 		TestR2:       ps.Reduced.TestR2,
+		Degradation:  ps.Degradation,
 	}
 	for name, cm := range ps.Models {
 		b.Models[name] = cm.Export()
@@ -191,6 +198,9 @@ func ImportBundle(b *Bundle) (*ProblemScaler, error) {
 	if len(b.Predictors) == 0 {
 		return nil, errors.New("core: bundle has no predictors")
 	}
+	if err := validateDegradation(b.Degradation); err != nil {
+		return nil, err
+	}
 	f, err := forest.Import(b.Forest)
 	if err != nil {
 		return nil, err
@@ -208,6 +218,7 @@ func ImportBundle(b *Bundle) (*ProblemScaler, error) {
 	}
 
 	ps := &ProblemScaler{
+		Degradation: b.Degradation,
 		Reduced: &Analysis{
 			Predictors:   append([]string(nil), b.Predictors...),
 			Forest:       f,

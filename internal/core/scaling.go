@@ -205,6 +205,10 @@ type ProblemScaler struct {
 	CharNames []string
 	// Models maps each retained counter to its characteristics model.
 	Models map[string]*CounterModel
+	// Degradation, when non-nil, discloses that the training frame came
+	// from an incomplete collection and how it was repaired. It does not
+	// participate in prediction.
+	Degradation *Degradation
 }
 
 // NewProblemScaler builds the scaler from a full analysis: it reduces to

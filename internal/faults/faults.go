@@ -1,0 +1,168 @@
+// Package faults is BlackForest's deterministic fault-injection layer.
+// Real counter collection is lossy — nvprof multi-pass replay drops
+// counters, whole runs fail, model files arrive truncated, and a serving
+// tier sees latency spikes and transient errors. This package simulates
+// all of that reproducibly so the degradation paths in the profiler, the
+// training pipeline, and the HTTP service can be exercised by ordinary
+// tests.
+//
+// Every decision is a pure function of (injector seed, fault domain,
+// subject identity): the same seed and the same run identity always fail
+// the same way, regardless of execution order or concurrency — the same
+// SplitMix64-keying discipline the profiler uses for measurement noise.
+// A nil *Injector injects nothing and costs nothing, so production paths
+// thread it through unconditionally.
+package faults
+
+import (
+	"errors"
+	"time"
+
+	"blackforest/internal/stats"
+)
+
+// ErrInjected marks every failure this package injects; callers
+// distinguish simulated faults from real ones with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// Config is a fault profile. The zero value injects nothing. All
+// probabilities are in [0, 1].
+type Config struct {
+	// Seed keys every decision; two injectors with equal configs make
+	// identical decisions.
+	Seed uint64
+	// RunFailure is the per-attempt probability that a profiled run
+	// fails outright (distinct attempts draw independently, so retries
+	// can succeed).
+	RunFailure float64
+	// CounterDropout is the per-(run, counter) probability that a
+	// collected counter is dropped from the profile — the multi-pass
+	// replay loss mode.
+	CounterDropout float64
+	// CorruptReads is the per-chunk probability that a wrapped bundle
+	// reader flips a byte; see Reader.
+	CorruptReads float64
+	// TruncateReads is the probability that a wrapped reader cuts the
+	// stream short.
+	TruncateReads float64
+	// ServeError is the per-request probability of an injected handler
+	// failure in the HTTP service.
+	ServeError float64
+	// ServeLatency is the per-request probability of an injected
+	// latency spike of LatencySpike.
+	ServeLatency float64
+	// LatencySpike is the injected delay (default 50ms when
+	// ServeLatency > 0 and no spike is given).
+	LatencySpike time.Duration
+}
+
+// Enabled reports whether the profile can inject anything.
+func (c Config) Enabled() bool {
+	return c.RunFailure > 0 || c.CounterDropout > 0 || c.CorruptReads > 0 ||
+		c.TruncateReads > 0 || c.ServeError > 0 || c.ServeLatency > 0
+}
+
+// Fault domains: mixed into every decision so the same identity draws
+// independently per failure mode.
+const (
+	domainRunFailure = 0x52554e46 // "RUNF"
+	domainDropout    = 0x44524f50 // "DROP"
+	domainCorrupt    = 0x434f5252 // "CORR"
+	domainTruncate   = 0x54525543 // "TRUC"
+	domainServeErr   = 0x53455252 // "SERR"
+	domainServeLat   = 0x534c4154 // "SLAT"
+)
+
+// Injector makes deterministic fault decisions. It is immutable and safe
+// for concurrent use; the nil injector never injects.
+type Injector struct {
+	cfg Config
+}
+
+// New builds an injector for the profile, or nil when the profile cannot
+// inject anything — so "faults off" is a nil check on every hot path.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.ServeLatency > 0 && cfg.LatencySpike <= 0 {
+		cfg.LatencySpike = 50 * time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Config returns the injector's profile (the zero Config for nil).
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// decide draws the deterministic Bernoulli for (domain, key, p).
+func (in *Injector) decide(domain, key uint64, p float64) bool {
+	if in == nil || p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	u := stats.SplitMix64(domain ^ stats.SplitMix64(key^stats.SplitMix64(in.cfg.Seed)))
+	return float64(u>>11)/(1<<53) < p
+}
+
+// HashString folds a string into a 64-bit identity key (FNV-1a), for
+// mixing counter names and other labels into decisions.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime64
+	}
+	return h
+}
+
+// mix combines two identity keys.
+func mix(a, b uint64) uint64 { return a ^ stats.SplitMix64(b) }
+
+// FailRun reports whether the run with the given identity fails on the
+// given attempt (attempts draw independently, so bounded retries see
+// transient failures).
+func (in *Injector) FailRun(identity uint64, attempt int) bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(domainRunFailure, mix(identity, uint64(attempt)+1), in.cfg.RunFailure)
+}
+
+// DropCounter reports whether the named counter is dropped from the run
+// with the given identity.
+func (in *Injector) DropCounter(identity uint64, counter string) bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(domainDropout, mix(identity, HashString(counter)), in.cfg.CounterDropout)
+}
+
+// ServeError reports whether the request with the given identity gets an
+// injected handler failure.
+func (in *Injector) ServeError(requestID uint64) bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(domainServeErr, requestID, in.cfg.ServeError)
+}
+
+// ServeDelay returns the injected latency spike for the request, or 0.
+func (in *Injector) ServeDelay(requestID uint64) time.Duration {
+	if in == nil {
+		return 0
+	}
+	if in.decide(domainServeLat, requestID, in.cfg.ServeLatency) {
+		return in.cfg.LatencySpike
+	}
+	return 0
+}

@@ -1,0 +1,34 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the spec parser never panics and that every spec it
+// accepts round-trips through String back to an equal Config.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("off")
+	f.Add("seed=42,runfail=0.2,dropout=0.1")
+	f.Add("corrupt=0.01,truncate=0.01,error=0.05,latency=0.1,spike=50ms")
+	f.Add("seed=18446744073709551615")
+	f.Add("runfail=1e-9")
+	f.Add("spike=1h2m3s,latency=1")
+	f.Add("runfail=0.5,runfail=0.5")
+	f.Add(",,, ,")
+	f.Add("=")
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		rendered := cfg.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but re-parsing %q failed: %v", spec, rendered, err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip drifted: %q -> %+v -> %q -> %+v", spec, cfg, rendered, back)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse decodes a fault-profile spec of comma-separated key=value pairs:
+//
+//	seed=42,runfail=0.2,dropout=0.1,corrupt=0.01,truncate=0.01,error=0.05,latency=0.1,spike=50ms
+//
+// All keys are optional; probabilities must be in [0, 1]; an empty spec
+// (or "off") yields the zero Config. Parse(cfg.String()) round-trips.
+func Parse(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return cfg, nil
+	}
+	seen := make(map[string]bool)
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return Config{}, fmt.Errorf("faults: malformed field %q (want key=value)", field)
+		}
+		if seen[key] {
+			return Config{}, fmt.Errorf("faults: duplicate key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "seed":
+			u, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: bad seed %q: %v", val, err)
+			}
+			cfg.Seed = u
+		case "spike":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: bad spike %q: %v", val, err)
+			}
+			if d < 0 {
+				return Config{}, fmt.Errorf("faults: negative spike %q", val)
+			}
+			cfg.LatencySpike = d
+		case "runfail", "dropout", "corrupt", "truncate", "error", "latency":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: bad probability for %s: %q", key, val)
+			}
+			if p < 0 || p > 1 || p != p {
+				return Config{}, fmt.Errorf("faults: probability for %s out of [0,1]: %q", key, val)
+			}
+			switch key {
+			case "runfail":
+				cfg.RunFailure = p
+			case "dropout":
+				cfg.CounterDropout = p
+			case "corrupt":
+				cfg.CorruptReads = p
+			case "truncate":
+				cfg.TruncateReads = p
+			case "error":
+				cfg.ServeError = p
+			case "latency":
+				cfg.ServeLatency = p
+			}
+		default:
+			return Config{}, fmt.Errorf("faults: unknown key %q (known: corrupt, dropout, error, latency, runfail, seed, spike, truncate)", key)
+		}
+	}
+	return cfg, nil
+}
+
+// String renders the profile as a spec Parse accepts. The zero Config
+// renders as "off".
+func (c Config) String() string {
+	var fields []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			fields = append(fields, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	if c.Seed != 0 {
+		fields = append(fields, "seed="+strconv.FormatUint(c.Seed, 10))
+	}
+	add("runfail", c.RunFailure)
+	add("dropout", c.CounterDropout)
+	add("corrupt", c.CorruptReads)
+	add("truncate", c.TruncateReads)
+	add("error", c.ServeError)
+	add("latency", c.ServeLatency)
+	if c.LatencySpike > 0 {
+		fields = append(fields, "spike="+c.LatencySpike.String())
+	}
+	if len(fields) == 0 {
+		return "off"
+	}
+	sort.Strings(fields)
+	return strings.Join(fields, ",")
+}

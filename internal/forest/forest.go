@@ -96,6 +96,23 @@ func Fit(x [][]float64, y []float64, names []string, cfg Config) (*Forest, error
 		cfg.Workers = runtime.NumCPU()
 	}
 
+	// Reject non-finite inputs up front: a NaN/Inf cell (e.g. a buggy
+	// imputation of a degraded collection) would otherwise poison split
+	// scores silently and fit a garbage tree.
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("forest: row %d has %d predictors, want %d", i, len(row), p)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("forest: non-finite predictor %s in row %d", names[j], i)
+			}
+		}
+		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return nil, fmt.Errorf("forest: non-finite response in row %d", i)
+		}
+	}
+
 	// Copy the training data: the forest retains it for OOB error,
 	// permutation importance, and partial dependence, all of which would
 	// silently corrupt if the caller mutated its slices after Fit.

@@ -1,0 +1,144 @@
+package kernels
+
+import (
+	"testing"
+)
+
+// These tests pin the kernels' counter totals to closed-form expressions
+// derived from the launch geometry, complementing the signature tests
+// (which only check qualitative orderings). A full simulation with noise
+// disabled makes every count exact, so any drift in the coalescer, the
+// bank-conflict model, or a kernel's instruction stream shows up as an
+// off-by-N here rather than as a silent change in the training data.
+
+func TestMatMulCounterInvariants(t *testing.T) {
+	// Tiled matmul with b=16: each block holds b² threads (8 full warps),
+	// and each warp walks n/b tiles issuing 2 global loads, 2 shared
+	// stores, and 2b shared loads per tile, then 1 global store.
+	for _, n := range []int{32, 64, 96} {
+		m := runFull(t, "GTX580", &MatMul{N: n, Seed: uint64(n)}).Metrics
+		tiles := float64(n / 16)
+		warps := float64(n*n) / 32
+
+		if got, want := m["gld_request"], 2*warps*tiles; got != want {
+			t.Errorf("n=%d: gld_request = %v, want %v (= n³/256)", n, got, want)
+		}
+		if got, want := m["gst_request"], warps; got != want {
+			t.Errorf("n=%d: gst_request = %v, want %v (one per warp)", n, got, want)
+		}
+		if got, want := m["shared_store"], 2*warps*tiles; got != want {
+			t.Errorf("n=%d: shared_store = %v, want %v", n, got, want)
+		}
+		if got, want := m["shared_load"], 32*warps*tiles; got != want {
+			t.Errorf("n=%d: shared_load = %v, want %v (2b per k-loop tile)", n, got, want)
+		}
+		// The tile fills and the k-loop reads are conflict-free: tile rows
+		// map to distinct banks and same-word reads broadcast.
+		if got := m["l1_shared_bank_conflict"]; got != 0 {
+			t.Errorf("n=%d: l1_shared_bank_conflict = %v, want 0", n, got)
+		}
+		// Each warp stores two 64-byte rows of C in different 128-byte
+		// lines (n is a multiple of 32, so rows are line-aligned).
+		if got, want := m["global_store_transaction"], 2*warps; got != want {
+			t.Errorf("n=%d: global_store_transaction = %v, want %v", n, got, want)
+		}
+		// Each load request likewise touches exactly two L1 lines.
+		if got, want := m["l1_global_load_hit"]+m["l1_global_load_miss"], 2*m["gld_request"]; got != want {
+			t.Errorf("n=%d: L1 accesses = %v, want %v (2 lines per request)", n, got, want)
+		}
+	}
+}
+
+// reductionLaunchTotals replays blocksFor over the recursive launch chain
+// of variants 0–2 and returns Σ⌈count/32⌉ (warps with a live global load)
+// and Σblocks.
+func reductionLaunchTotals(n, blockSize int) (loadWarps, blocks int) {
+	for count := n; count > 1; {
+		b := ceilDiv(count, blockSize)
+		loadWarps += ceilDiv(count, 32)
+		blocks += b
+		count = b
+	}
+	return loadWarps, blocks
+}
+
+func TestReductionCounterInvariants(t *testing.T) {
+	// Variants 0–2 share the launch chain: one element per thread, grid
+	// ⌈count/blockSize⌉, recursing until one value remains. Global traffic
+	// is the same for all three; what differs is the shared-memory replay
+	// behavior the paper's §5 narrative hinges on.
+	for _, variant := range []int{0, 1, 2} {
+		for _, n := range []int{1000, 4096} {
+			r := &Reduction{Variant: variant, N: n, BlockSize: 256, Seed: uint64(n)}
+			prof := runFull(t, "GTX580", r)
+			m := prof.Metrics
+			loadWarps, blocks := reductionLaunchTotals(n, 256)
+
+			if got, want := m["gld_request"], float64(loadWarps); got != want {
+				t.Errorf("reduce%d n=%d: gld_request = %v, want %v (Σ⌈count/32⌉)", variant, n, got, want)
+			}
+			// One lane-0 store per block writes the partial sum.
+			if got, want := m["gst_request"], float64(blocks); got != want {
+				t.Errorf("reduce%d n=%d: gst_request = %v, want %v (one per block)", variant, n, got, want)
+			}
+			want := 0.0
+			if variant == 1 {
+				// Strided indexing: per 256-thread block the eight loop
+				// iterations conflict with degrees 2,4,8,8,8,4,2,1 on each
+				// of 4,2,1,1,1,1,1,1 active warps × 3 shared instructions:
+				// 3·(4·1 + 2·3 + 7 + 7 + 7 + 3 + 1 + 0) = 105 replays.
+				want = 105 * float64(blocks)
+			}
+			if got := m["l1_shared_bank_conflict"]; got != want {
+				t.Errorf("reduce%d n=%d: l1_shared_bank_conflict = %v, want %v", variant, n, got, want)
+			}
+		}
+	}
+}
+
+func TestReductionSharedTrafficInvariants(t *testing.T) {
+	// For the sequential-addressing kernel the per-block shared traffic is
+	// a pure function of the block size: 12 live warp-iterations of the
+	// halving loop (2 loads + 1 store each) over the 8 loads of the fill
+	// phase plus the lane-0 readback.
+	for _, n := range []int{1000, 4096} {
+		m := runFull(t, "GTX580", &Reduction{Variant: 2, N: n, BlockSize: 256, Seed: 3}).Metrics
+		_, blocks := reductionLaunchTotals(n, 256)
+		if got, want := m["shared_load"], float64(25*blocks); got != want {
+			t.Errorf("n=%d: shared_load = %v, want %v", n, got, want)
+		}
+		if got, want := m["shared_store"], float64(20*blocks); got != want {
+			t.Errorf("n=%d: shared_store = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNWCounterInvariants(t *testing.T) {
+	// NW tiles the (n+1)² matrix into (n/16)² blocks of one 16-thread
+	// warp, visited once across the 2·(n/16)−1 diagonal strips. Per block:
+	// 19 global loads (corner + 16 ref rows + west column + north row),
+	// 16 row write-backs, 50 shared stores (19 fill + 31 wavefront steps)
+	// and 140 shared loads (4·31 wavefront + 16 write-back reads).
+	for _, n := range []int{64, 128} {
+		prof := runFull(t, "GTX580", &NeedlemanWunsch{SeqLen: n, Seed: uint64(n)})
+		m := prof.Metrics
+		bw := n / 16
+		blocks := float64(bw * bw)
+
+		if got, want := prof.Launches, 2*bw-1; got != want {
+			t.Errorf("n=%d: %d launches, want %d", n, got, want)
+		}
+		if got, want := m["gld_request"], 19*blocks; got != want {
+			t.Errorf("n=%d: gld_request = %v, want %v", n, got, want)
+		}
+		if got, want := m["gst_request"], 16*blocks; got != want {
+			t.Errorf("n=%d: gst_request = %v, want %v", n, got, want)
+		}
+		if got, want := m["shared_store"], 50*blocks; got != want {
+			t.Errorf("n=%d: shared_store = %v, want %v", n, got, want)
+		}
+		if got, want := m["shared_load"], 140*blocks; got != want {
+			t.Errorf("n=%d: shared_load = %v, want %v", n, got, want)
+		}
+	}
+}

@@ -19,8 +19,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"blackforest/internal/counters"
+	"blackforest/internal/faults"
 	"blackforest/internal/gpusim"
 	"blackforest/internal/stats"
 )
@@ -69,6 +71,17 @@ type Options struct {
 	NoiseSigma float64
 	// Seed drives the noise generator.
 	Seed uint64
+	// Faults optionally injects simulated collection failures (failed
+	// runs, counter dropout). Decisions key on the same workload identity
+	// as the measurement noise, so they are reproducible and independent
+	// of sweep order or concurrency. Nil disables injection.
+	Faults *faults.Injector
+	// Retries is the number of additional attempts RunAll makes when a
+	// run fails (0 = fail fast, matching historic behavior).
+	Retries int
+	// RetryBackoff is the base delay between attempts; attempt k sleeps
+	// RetryBackoff << k. Zero retries immediately.
+	RetryBackoff time.Duration
 }
 
 // Profile is the result of profiling one workload run: the paper's unit of
@@ -94,6 +107,10 @@ type Profile struct {
 	Launches int
 	// Bottlenecks counts launches per binding bottleneck term.
 	Bottlenecks map[string]int
+	// Dropped lists counter names lost to injected dropout for this run,
+	// sorted. Empty in normal operation; downstream frame assembly uses
+	// it to decide between dropping and imputing incomplete columns.
+	Dropped []string
 }
 
 // Profiler profiles workloads on one device. It is immutable after New and
@@ -119,12 +136,10 @@ func New(dev *gpusim.Device, opt Options) *Profiler {
 // Device returns the profiled device.
 func (p *Profiler) Device() *gpusim.Device { return p.dev }
 
-// noiseSeed derives the measurement-noise seed for one run: an FNV-1a hash
-// of the workload's identity (name, characteristics, input seed) mixed with
-// the profiler seed, splitmix-finalized the same way forest.Fit derives its
-// per-tree seeds. Because position in the sweep never enters the hash,
-// reordering or parallelizing a collection cannot change any profile.
-func (p *Profiler) noiseSeed(w Workload) uint64 {
+// identityHash folds the workload's identity (name, characteristics,
+// input seed) into an FNV-1a hash. It keys both measurement noise and
+// fault injection, so neither depends on sweep position.
+func identityHash(w Workload) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -149,17 +164,36 @@ func (p *Profiler) noiseSeed(w Workload) uint64 {
 	if s, ok := w.(InputSeeded); ok {
 		byte8(s.InputSeed())
 	}
-	return stats.SplitMix64(h ^ stats.SplitMix64(p.opt.Seed^0x70726f66))
+	return h
 }
 
-// Run profiles one workload run end to end.
+// noiseSeed derives the measurement-noise seed for one run: the identity
+// hash mixed with the profiler seed, splitmix-finalized the same way
+// forest.Fit derives its per-tree seeds. Because position in the sweep
+// never enters the hash, reordering or parallelizing a collection cannot
+// change any profile.
+func (p *Profiler) noiseSeed(w Workload) uint64 {
+	return stats.SplitMix64(identityHash(w) ^ stats.SplitMix64(p.opt.Seed^0x70726f66))
+}
+
+// Run profiles one workload run end to end. With fault injection
+// configured, a run that the injector fails reports an error wrapping
+// faults.ErrInjected; Run is always "attempt 0" (RunAll drives later
+// attempts).
 func (p *Profiler) Run(w Workload) (*Profile, error) {
+	return p.run(w, 0)
+}
+
+func (p *Profiler) run(w Workload, attempt int) (*Profile, error) {
 	launches, err := w.Plan(p.dev)
 	if err != nil {
 		return nil, fmt.Errorf("profiler: planning %s: %w", w.Name(), err)
 	}
 	if len(launches) == 0 {
 		return nil, errors.New("profiler: workload planned zero launches")
+	}
+	if p.opt.Faults != nil && p.opt.Faults.FailRun(identityHash(w), attempt) {
+		return nil, fmt.Errorf("profiler: collecting %s (attempt %d): %w", w.Name(), attempt+1, faults.ErrInjected)
 	}
 
 	sim := gpusim.NewSimulator(p.dev)
@@ -194,17 +228,30 @@ func (p *Profiler) Run(w Workload) (*Profile, error) {
 	}
 	agg.TimeMS = measured
 
+	metrics := counters.Derive(p.dev, agg)
+	var dropped []string
+	if p.opt.Faults != nil {
+		id := identityHash(w)
+		for _, name := range sortedKeys(metrics) {
+			if p.opt.Faults.DropCounter(id, name) {
+				delete(metrics, name)
+				dropped = append(dropped, name)
+			}
+		}
+	}
+
 	return &Profile{
 		Workload:        w.Name(),
 		Device:          p.dev.Name,
 		Characteristics: w.Characteristics(),
-		Metrics:         counters.Derive(p.dev, agg),
+		Metrics:         metrics,
 		TimeMS:          measured,
 		ModelTimeMS:     modelTime,
 		PowerW:          power,
 		EnergyMJ:        energyMJ,
 		Launches:        len(launches),
 		Bottlenecks:     bottlenecks,
+		Dropped:         dropped,
 	}, nil
 }
 
@@ -227,9 +274,11 @@ func averagePower(energyMJ, modelTimeMS float64) float64 {
 // returns the profiles in input order. Because each run's noise derives
 // from its identity, the result is bit-for-bit identical for every worker
 // count, and independent of input order modulo slice order. Workloads
-// implementing Releaser are released as soon as their run finishes,
+// implementing Releaser are released as soon as each attempt finishes,
 // including runs that fail after planning; the error of the earliest run
-// in input order wins.
+// in input order wins. A failed run is retried up to Options.Retries
+// times with exponential backoff (each attempt re-plans the workload, so
+// released buffers are rebuilt) before its error is reported.
 func (p *Profiler) RunAll(runs []Workload, workers int) ([]*Profile, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -247,17 +296,7 @@ func (p *Profiler) RunAll(runs []Workload, workers int) ([]*Profile, error) {
 		go func(i int, w Workload) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			prof, err := p.Run(w)
-			// Release unconditionally: Plan may have allocated (NW's
-			// O(n²) matrix) even when the launch later failed.
-			if rel, ok := w.(Releaser); ok {
-				rel.Release()
-			}
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			profiles[i] = prof
+			profiles[i], errs[i] = p.runWithRetry(w)
 		}(i, w)
 	}
 	wg.Wait()
@@ -267,6 +306,27 @@ func (p *Profiler) RunAll(runs []Workload, workers int) ([]*Profile, error) {
 		}
 	}
 	return profiles, nil
+}
+
+// runWithRetry drives one workload through up to 1+Retries attempts.
+func (p *Profiler) runWithRetry(w Workload) (*Profile, error) {
+	var lastErr error
+	for attempt := 0; attempt <= p.opt.Retries; attempt++ {
+		if attempt > 0 && p.opt.RetryBackoff > 0 {
+			time.Sleep(p.opt.RetryBackoff << (attempt - 1))
+		}
+		prof, err := p.run(w, attempt)
+		// Release unconditionally: Plan may have allocated (NW's
+		// O(n²) matrix) even when the launch later failed.
+		if rel, ok := w.(Releaser); ok {
+			rel.Release()
+		}
+		if err == nil {
+			return prof, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // MetricNames returns the profile's metric names, sorted.

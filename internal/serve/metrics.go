@@ -28,6 +28,9 @@ type metrics struct {
 	predictions int64
 	cacheHits   int64
 	cacheMisses int64
+
+	shed     int64 // requests rejected by load shedding
+	injected int64 // faults injected by the chaos layer
 }
 
 func newMetrics() *metrics {
@@ -62,6 +65,20 @@ func (m *metrics) addPredictions(hits, misses int64) {
 	m.cacheMisses += misses
 }
 
+// addShed counts one load-shed request.
+func (m *metrics) addShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// addInjected counts one injected fault (latency spike or handler error).
+func (m *metrics) addInjected() {
+	m.mu.Lock()
+	m.injected++
+	m.mu.Unlock()
+}
+
 // quantile returns the q-quantile of sorted xs (nearest-rank).
 func quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
@@ -86,6 +103,7 @@ func (m *metrics) writePrometheus(w io.Writer, cacheSize, cacheCap int) {
 	window := append([]float64(nil), m.latencies...)
 	latCount, latSum := m.latCount, m.latSum
 	predictions, hits, misses := m.predictions, m.cacheHits, m.cacheMisses
+	shed, injected := m.shed, m.injected
 	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP bfserve_requests_total Completed HTTP requests by path and status code.")
@@ -117,6 +135,13 @@ func (m *metrics) writePrometheus(w io.Writer, cacheSize, cacheCap int) {
 	fmt.Fprintln(w, "# HELP bfserve_cache_misses_total Prediction cache misses.")
 	fmt.Fprintln(w, "# TYPE bfserve_cache_misses_total counter")
 	fmt.Fprintf(w, "bfserve_cache_misses_total %d\n", misses)
+
+	fmt.Fprintln(w, "# HELP bfserve_shed_total Requests rejected by load shedding.")
+	fmt.Fprintln(w, "# TYPE bfserve_shed_total counter")
+	fmt.Fprintf(w, "bfserve_shed_total %d\n", shed)
+	fmt.Fprintln(w, "# HELP bfserve_injected_faults_total Faults injected by the chaos layer.")
+	fmt.Fprintln(w, "# TYPE bfserve_injected_faults_total counter")
+	fmt.Fprintf(w, "bfserve_injected_faults_total %d\n", injected)
 
 	rate := 0.0
 	if hits+misses > 0 {

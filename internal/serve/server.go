@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"blackforest/internal/core"
+	"blackforest/internal/faults"
 )
 
 // Config configures the prediction server.
@@ -49,6 +50,13 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps the request body (0 = 8 MiB).
 	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently handled predict requests; excess
+	// requests are shed immediately with 503 instead of queuing behind
+	// the worker pool (0 = default 256, negative = no shedding).
+	MaxInFlight int
+	// Faults optionally injects latency spikes and handler errors for
+	// chaos testing; nil serves faithfully.
+	Faults *faults.Injector
 }
 
 // Server is the HTTP prediction service.
@@ -62,6 +70,14 @@ type Server struct {
 	maxRows int
 	maxBody int64
 	metrics *metrics
+
+	// inflight is the load-shedding semaphore for /v1/predict; nil
+	// disables shedding.
+	inflight chan struct{}
+	// faults injects serve-side chaos (nil = off); reqID numbers predict
+	// requests so injection decisions are per-request deterministic.
+	faults *faults.Injector
+	reqID  atomic.Uint64
 
 	// testHookPredict, when set, runs before each uncached prediction;
 	// tests use it to hold requests in flight across a shutdown.
@@ -91,11 +107,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 256
+	}
 	cacheCap := cfg.CacheSize
 	if cacheCap < 0 {
 		cacheCap = 0
 	}
-	return &Server{
+	s := &Server{
 		scaler:  cfg.Scaler,
 		cache:   newLRUCache(cacheCap),
 		cacheN:  cacheCap,
@@ -105,7 +124,12 @@ func New(cfg Config) (*Server, error) {
 		maxRows: cfg.MaxBatch,
 		maxBody: cfg.MaxBodyBytes,
 		metrics: newMetrics(),
-	}, nil
+		faults:  cfg.Faults,
+	}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
+	return s, nil
 }
 
 // PredictRequest is the body of POST /v1/predict: exactly one of Chars
@@ -211,8 +235,11 @@ func (s *Server) predictOne(chars map[string]float64) (Prediction, bool, error) 
 }
 
 // predictRows answers a batch over the worker pool. Row order is preserved
-// and results are identical for every worker count.
-func (s *Server) predictRows(rows []map[string]float64) ([]Prediction, error) {
+// and results are identical for every worker count. The request context is
+// observed between rows: once its deadline passes (http.TimeoutHandler
+// sets one), remaining rows are abandoned and the context error returned,
+// so a timed-out request stops burning CPU.
+func (s *Server) predictRows(ctx context.Context, rows []map[string]float64) ([]Prediction, error) {
 	out := make([]Prediction, len(rows))
 	errs := make([]error, len(rows))
 	var hits, misses int64
@@ -223,6 +250,10 @@ func (s *Server) predictRows(rows []map[string]float64) ([]Prediction, error) {
 	}
 	if workers <= 1 {
 		for i, row := range rows {
+			if err := ctx.Err(); err != nil {
+				s.metrics.addPredictions(hits, misses)
+				return nil, err
+			}
 			p, hit, err := s.predictOne(row)
 			out[i], errs[i] = p, err
 			if err == nil {
@@ -242,6 +273,9 @@ func (s *Server) predictRows(rows []map[string]float64) ([]Prediction, error) {
 			go func() {
 				defer wg.Done()
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= len(rows) {
 						return
@@ -262,6 +296,9 @@ func (s *Server) predictRows(rows []map[string]float64) ([]Prediction, error) {
 		hits, misses = ahits.Load(), amisses.Load()
 	}
 	s.metrics.addPredictions(hits, misses)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("row %d: %w", i, err)
@@ -276,6 +313,39 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
 		return
 	}
+	// Load shedding: if MaxInFlight requests are already being handled,
+	// answer 503 immediately instead of queuing behind the worker pool —
+	// an overloaded predictor should degrade crisply, not stall everyone.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.metrics.addShed()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server overloaded, retry later"})
+			return
+		}
+	}
+	if s.faults != nil {
+		id := s.reqID.Add(1)
+		if d := s.faults.ServeDelay(id); d > 0 {
+			s.metrics.addInjected()
+			// Sleep is bounded by the request context so an injected
+			// spike cannot outlive the request's deadline.
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+			}
+		}
+		if s.faults.ServeError(id) {
+			s.metrics.addInjected()
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "injected fault: simulated handler failure"})
+			return
+		}
+	}
 	req, err := DecodePredictRequest(http.MaxBytesReader(w, r.Body, s.maxBody), s.maxRows)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
@@ -285,9 +355,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if req.Chars != nil {
 		rows = []map[string]float64{req.Chars}
 	}
-	preds, err := s.predictRows(rows)
+	preds, err := s.predictRows(r.Context(), rows)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// http.TimeoutHandler has usually answered 503 already; the
+			// code here is for callers driving the handler directly.
+			code = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{Model: s.modelInfo(), Predictions: preds})
