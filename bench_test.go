@@ -463,7 +463,10 @@ func BenchmarkForestFit(b *testing.B) {
 	}
 }
 
-func BenchmarkForestPredict(b *testing.B) {
+// benchPredictForest fits the shared 500-tree forest the predict
+// microbenchmarks walk, plus a query batch drawn from the same distribution.
+func benchPredictForest(b *testing.B) (*forest.Forest, [][]float64) {
+	b.Helper()
 	rng := stats.NewRNG(2)
 	n, p := 100, 20
 	x := make([][]float64, n)
@@ -480,15 +483,52 @@ func BenchmarkForestPredict(b *testing.B) {
 		x[i] = row
 		y[i] = row[0] * 10
 	}
-	f, err := forest.Fit(x, y, names, forest.Config{NTrees: 500, Seed: 1})
+	f, err := forest.Fit(x, y, names, forest.Config{NTrees: 500, Seed: 1, Workers: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	probe := x[0]
+	queries := make([][]float64, 1024)
+	for i := range queries {
+		q := make([]float64, p)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		queries[i] = q
+	}
+	return f, queries
+}
+
+// BenchmarkForestPredict walks the flat compiled engine (the serving path).
+func BenchmarkForestPredict(b *testing.B) {
+	f, queries := benchPredictForest(b)
+	probe := queries[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Predict(probe)
 	}
+}
+
+// BenchmarkForestPredictPointer walks the frozen pointer-linked reference —
+// the baseline the flat engine's ns/op is compared against.
+func BenchmarkForestPredictPointer(b *testing.B) {
+	f, queries := benchPredictForest(b)
+	probe := queries[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictPointer(probe)
+	}
+}
+
+// BenchmarkPredictAllFlat runs the tree-major batched mode over 1024 rows
+// per iteration (single-threaded, so the metric tracks the engine, not the
+// worker pool).
+func BenchmarkPredictAllFlat(b *testing.B) {
+	f, queries := benchPredictForest(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictAll(queries)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(queries)), "ns/row")
 }
 
 func BenchmarkSimulatorMatMul(b *testing.B) {

@@ -45,7 +45,7 @@ type benchExperiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2..fig8, power, ladder, transpose, histogram, or all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2..fig8, power, ladder, transpose, histogram, predict, or all")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvdir := flag.String("csvdir", "", "directory for CSV series output (optional)")
@@ -66,7 +66,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "power", "ladder", "transpose", "histogram"}
+		names = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "power", "ladder", "transpose", "histogram", "predict"}
 	} else {
 		names = strings.Split(*exp, ",")
 	}
@@ -217,6 +217,12 @@ func run(name string, opts experiments.Options, csvdir string) error {
 			fmt.Fprintln(w)
 		}
 		return nil
+	case "predict":
+		res, err := experiments.RunPredictBench(opts)
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
 	case "histogram":
 		for v := 0; v <= 1; v++ {
 			res, err := experiments.RunHistogramAnalysis(v, opts)

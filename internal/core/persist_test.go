@@ -256,3 +256,71 @@ func FuzzLoadBundle(f *testing.F) {
 		_, _ = ps.PredictTime(map[string]float64{"size": 512})
 	})
 }
+
+// TestQuantizedBundleRoundTrip: the quantized (flat-only forest) bundle is
+// smaller than the per-node-tree bundle, still loads as version 1, and
+// answers PredictDetail bit-identically across the probe grid.
+func TestQuantizedBundleRoundTrip(t *testing.T) {
+	orig := fitScaler(t, 6)
+	var full, quant bytes.Buffer
+	if err := orig.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SaveQuantized(&quant); err != nil {
+		t.Fatal(err)
+	}
+	if quant.Len() >= full.Len() {
+		t.Fatalf("quantized bundle is %d bytes, full bundle %d", quant.Len(), full.Len())
+	}
+	loaded, err := LoadProblemScaler(bytes.NewReader(quant.Bytes()))
+	if err != nil {
+		t.Fatalf("loading quantized bundle: %v", err)
+	}
+	if e := loaded.Reduced.Forest.Engine(); !strings.HasPrefix(e, "flat(") {
+		t.Fatalf("quantized-loaded forest engine = %q, want flat(<enc>)", e)
+	}
+	for _, chars := range charGrid() {
+		want, wantCounters, err := orig.PredictDetail(chars)
+		if err != nil {
+			t.Fatalf("original predict %v: %v", chars, err)
+		}
+		got, gotCounters, err := loaded.PredictDetail(chars)
+		if err != nil {
+			t.Fatalf("quantized predict %v: %v", chars, err)
+		}
+		if got != want {
+			t.Fatalf("PredictTime differs at %v: %v != %v", chars, got, want)
+		}
+		for name, w := range wantCounters {
+			if gotCounters[name] != w {
+				t.Fatalf("counter %s differs at %v", name, chars)
+			}
+		}
+	}
+	if loaded.Reduced.TestR2 != orig.Reduced.TestR2 || loaded.Reduced.OOBMSE != orig.Reduced.OOBMSE {
+		t.Fatal("validation statistics differ")
+	}
+}
+
+// TestSaveFileQuantizedRoundTrip mirrors TestSaveFileRoundTrip for the
+// quantized writer (the -quantize CLI path).
+func TestSaveFileQuantizedRoundTrip(t *testing.T) {
+	ps := fitScaler(t, 6)
+	path := t.TempDir() + "/model-quant.json"
+	if err := ps.SaveFileQuantized(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProblemScalerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chars := map[string]float64{"size": 1024}
+	want, _ := ps.PredictTime(chars)
+	got, err := loaded.PredictTime(chars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("quantized file round trip changed prediction: %v != %v", got, want)
+	}
+}

@@ -283,7 +283,13 @@ func (ps *ProblemScaler) PredictDetail(chars map[string]float64) (float64, map[s
 		x[i] = ps.Models[name].Predict(charVec)
 		counters[name] = x[i]
 	}
-	return ps.Reduced.Forest.Predict(x), counters, nil
+	// PredictVector reports a malformed vector as an error: the serving path
+	// runs through here, and one bad predict must never panic the server.
+	t, err := ps.Reduced.Forest.PredictVector(x)
+	if err != nil {
+		return 0, nil, err
+	}
+	return t, counters, nil
 }
 
 // Evaluation compares characteristic-only predictions against measured

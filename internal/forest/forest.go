@@ -46,8 +46,15 @@ func DefaultConfig() Config {
 }
 
 // Forest is a fitted random forest regression model.
+//
+// Prediction runs on a flat compiled engine: after Fit (or Import) all trees
+// are compiled into one contiguous node array (rtree.FlatForest) and
+// Predict/PredictAll route through it. The pointer-linked trees are retained
+// as the frozen reference implementation (PredictPointer), the differential
+// oracle the flat engine is tested against.
 type Forest struct {
 	trees    []*rtree.Tree
+	flat     *rtree.FlatForest
 	oobIdx   [][]int // per-tree out-of-bag sample indices
 	names    []string
 	x        [][]float64 // retained training design matrix
@@ -173,6 +180,12 @@ func Fit(x [][]float64, y []float64, names []string, cfg Config) (*Forest, error
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	// Compile the serving engine: one flat node array over all trees.
+	f.flat, err = rtree.CompileFlat(f.trees)
+	if err != nil {
+		return nil, err
 	}
 
 	f.computeOOB()
@@ -392,7 +405,40 @@ func (f *Forest) treeImportance(t int, rng *stats.RNG) []float64 {
 }
 
 // Predict returns the forest prediction (mean of tree predictions) for x.
+// It routes through the flat compiled engine and, like Tree.Predict, panics
+// on a feature-count mismatch; serving paths should use PredictVector, which
+// returns an error instead.
 func (f *Forest) Predict(x []float64) float64 {
+	if f.flat != nil {
+		v, err := f.flat.Predict(x)
+		if err != nil {
+			panic(err.Error())
+		}
+		return v
+	}
+	return f.PredictPointer(x)
+}
+
+// PredictVector is Predict with malformed input reported as an error rather
+// than a panic — the serving-path entry point.
+func (f *Forest) PredictVector(x []float64) (float64, error) {
+	if f.flat != nil {
+		return f.flat.Predict(x)
+	}
+	if len(x) != len(f.names) {
+		return 0, fmt.Errorf("forest: predicting with %d features, forest has %d", len(x), len(f.names))
+	}
+	return f.PredictPointer(x), nil
+}
+
+// PredictPointer is the frozen pointer-walking reference implementation:
+// the per-tree node-by-node walk the flat engine is differentially tested
+// against (bit-identical output). It is unavailable on a forest loaded from
+// a flat-only quantized bundle, which carries no per-tree nodes.
+func (f *Forest) PredictPointer(x []float64) float64 {
+	if len(f.trees) == 0 {
+		panic("forest: pointer engine unavailable (loaded from a flat-only bundle)")
+	}
 	var s float64
 	for _, t := range f.trees {
 		s += t.Predict(x)
@@ -400,16 +446,93 @@ func (f *Forest) Predict(x []float64) float64 {
 	return s / float64(len(f.trees))
 }
 
+// Engine names the active prediction engine: "flat" for the compiled
+// contiguous-array engine, with the bundle value encoding appended (e.g.
+// "flat(dict16)") when the forest was decoded from a quantized flat-only
+// bundle, or "pointer" if no flat engine is compiled.
+func (f *Forest) Engine() string {
+	if f.flat == nil {
+		return "pointer"
+	}
+	if enc := f.flat.Encoding(); enc != "" && len(f.trees) == 0 {
+		return "flat(" + enc + ")"
+	}
+	return "flat"
+}
+
 // predictAllSeqThreshold is the batch size below which PredictAll stays
 // sequential: goroutine startup costs more than a handful of tree walks.
 const predictAllSeqThreshold = 4
 
-// PredictAll returns predictions for each row of xs. Rows are independent,
-// so large batches are spread over a worker pool (Config.Workers goroutines,
-// or all CPUs for loaded models); the result is identical to the sequential
-// loop for every worker count.
+// predictBlockRows is the row-block width of the tree-major batch mode:
+// each worker walks every tree across one block of this many rows, keeping
+// the current tree's node array cache-hot for the whole block.
+const predictBlockRows = 256
+
+// PredictAll returns predictions for each row of xs. Batches run tree-major
+// on the flat engine (every tree visits a whole row block before the next
+// tree starts) and large batches are spread block-wise over a worker pool
+// (Config.Workers goroutines, or all CPUs for loaded models); per row, tree
+// contributions accumulate in tree order, so the result is bit-identical to
+// calling Predict per row, for every worker count and block size.
 func (f *Forest) PredictAll(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	if f.flat == nil {
+		f.predictAllPointer(xs, out)
+		return out
+	}
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	blocks := (len(xs) + predictBlockRows - 1) / predictBlockRows
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 || len(xs) < predictAllSeqThreshold {
+		if err := f.flat.PredictBatch(xs, out); err != nil {
+			panic(err.Error())
+		}
+		return out
+	}
+	errs := make([]error, blocks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				lo := b * predictBlockRows
+				hi := lo + predictBlockRows
+				if hi > len(xs) {
+					hi = len(xs)
+				}
+				errs[b] = f.flat.PredictBatch(xs[lo:hi], out[lo:hi])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Preserve the historical panic-on-malformed-row semantics, but
+			// panic in the caller's goroutine, never inside a worker.
+			panic(err.Error())
+		}
+	}
+	return out
+}
+
+// predictAllPointer is the frozen row-major batch path over the pointer
+// walker, kept for forests without a compiled flat engine.
+func (f *Forest) predictAllPointer(xs [][]float64, out []float64) {
 	workers := f.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -419,9 +542,9 @@ func (f *Forest) PredictAll(xs [][]float64) []float64 {
 	}
 	if workers <= 1 || len(xs) < predictAllSeqThreshold {
 		for i, x := range xs {
-			out[i] = f.Predict(x)
+			out[i] = f.PredictPointer(x)
 		}
-		return out
+		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -434,12 +557,11 @@ func (f *Forest) PredictAll(xs [][]float64) []float64 {
 				if i >= len(xs) {
 					return
 				}
-				out[i] = f.Predict(xs[i])
+				out[i] = f.PredictPointer(xs[i])
 			}
 		}()
 	}
 	wg.Wait()
-	return out
 }
 
 // OOBMSE returns the out-of-bag mean squared error.
@@ -458,7 +580,15 @@ func (f *Forest) OOBPredictions() []float64 {
 }
 
 // NumTrees returns the number of trees in the forest.
-func (f *Forest) NumTrees() int { return len(f.trees) }
+func (f *Forest) NumTrees() int {
+	if len(f.trees) > 0 {
+		return len(f.trees)
+	}
+	if f.flat != nil {
+		return f.flat.NumTrees()
+	}
+	return 0
+}
 
 // Names returns the predictor names.
 func (f *Forest) Names() []string { return append([]string(nil), f.names...) }

@@ -14,28 +14,33 @@ import (
 // training-derived statistics, but not the training data itself. A loaded
 // forest predicts and reports importance; partial dependence (which needs
 // the training distribution) is unavailable and returns an error.
+//
+// Either Trees or Flat (or both) must be present. Export emits the per-node
+// trees; ExportQuantized emits only the compact flat encoding, which loads
+// faster and smaller but predicts bit-identically. When both are present,
+// Import verifies they describe the same forest.
 type Exported struct {
-	Version  int                   `json:"version"`
-	Names    []string              `json:"names"`
-	Trees    []*rtree.ExportedTree `json:"trees"`
-	OOBMSE   float64               `json:"oob_mse"`
-	VarExpl  float64               `json:"var_explained"`
-	RawImp   []float64             `json:"importance"`
-	ImpSE    []float64             `json:"importance_se"`
-	Purity   []float64             `json:"purity"`
-	MinResp  float64               `json:"min_response"`
-	MaxResp  float64               `json:"max_response"`
-	NSamples int                   `json:"training_samples"`
+	Version  int                       `json:"version"`
+	Names    []string                  `json:"names"`
+	Trees    []*rtree.ExportedTree     `json:"trees,omitempty"`
+	Flat     *rtree.ExportedFlatForest `json:"flat,omitempty"`
+	OOBMSE   float64                   `json:"oob_mse"`
+	VarExpl  float64                   `json:"var_explained"`
+	RawImp   []float64                 `json:"importance"`
+	ImpSE    []float64                 `json:"importance_se"`
+	Purity   []float64                 `json:"purity"`
+	MinResp  float64                   `json:"min_response"`
+	MaxResp  float64                   `json:"max_response"`
+	NSamples int                       `json:"training_samples"`
 }
 
 const saveVersion = 1
 
-// Export returns the forest in serializable form.
-func (f *Forest) Export() *Exported {
-	e := &Exported{
+// exportShell fills every Exported field except the forest encoding itself.
+func (f *Forest) exportShell() *Exported {
+	return &Exported{
 		Version:  saveVersion,
 		Names:    append([]string(nil), f.names...),
-		Trees:    make([]*rtree.ExportedTree, len(f.trees)),
 		OOBMSE:   f.oobMSE,
 		VarExpl:  f.varExpl,
 		RawImp:   append([]float64(nil), f.rawImp...),
@@ -45,10 +50,29 @@ func (f *Forest) Export() *Exported {
 		MaxResp:  f.maxResp,
 		NSamples: f.nSamples,
 	}
+}
+
+// Export returns the forest in serializable form (per-node trees).
+func (f *Forest) Export() *Exported {
+	e := f.exportShell()
+	e.Trees = make([]*rtree.ExportedTree, len(f.trees))
 	for i, t := range f.trees {
 		e.Trees[i] = t.Export()
 	}
 	return e
+}
+
+// ExportQuantized returns the forest in its compact serializable form: the
+// flat compiled node array with thresholds and leaf values under the
+// smallest lossless encoding, and no per-node trees. A forest imported from
+// it predicts bit-identically but cannot serve as the pointer-walker oracle.
+func (f *Forest) ExportQuantized() (*Exported, error) {
+	if f.flat == nil {
+		return nil, errors.New("forest: no flat engine compiled")
+	}
+	e := f.exportShell()
+	e.Flat = f.flat.Export()
+	return e, nil
 }
 
 // Import reconstructs a forest from its exported form with the same
@@ -62,7 +86,7 @@ func Import(e *Exported) (*Forest, error) {
 	if e.Version != saveVersion {
 		return nil, fmt.Errorf("forest: unsupported model version %d", e.Version)
 	}
-	if len(e.Trees) == 0 {
+	if len(e.Trees) == 0 && e.Flat == nil {
 		return nil, errors.New("forest: saved model has no trees")
 	}
 	p := len(e.Names)
@@ -96,12 +120,50 @@ func Import(e *Exported) (*Forest, error) {
 		}
 		f.trees[i] = t
 	}
+	if len(e.Trees) > 0 {
+		// The trees are authoritative: compile the serving engine from them,
+		// and if the bundle also carries a flat encoding, insist it matches
+		// bit for bit — a disagreement means a corrupted or tampered bundle.
+		compiled, err := rtree.CompileFlat(f.trees)
+		if err != nil {
+			return nil, fmt.Errorf("forest: compiling flat engine: %w", err)
+		}
+		if e.Flat != nil {
+			imported, err := rtree.ImportFlat(e.Flat)
+			if err != nil {
+				return nil, fmt.Errorf("forest: flat encoding: %w", err)
+			}
+			if !imported.Equal(compiled) {
+				return nil, errors.New("forest: flat encoding disagrees with the trees")
+			}
+		}
+		f.flat = compiled
+	} else {
+		fl, err := rtree.ImportFlat(e.Flat)
+		if err != nil {
+			return nil, fmt.Errorf("forest: flat encoding: %w", err)
+		}
+		if fl.NumFeatures() != p {
+			return nil, fmt.Errorf("forest: flat encoding has %d features, model has %d", fl.NumFeatures(), p)
+		}
+		f.flat = fl
+	}
 	return f, nil
 }
 
 // Save writes the forest as JSON.
 func (f *Forest) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(f.Export())
+}
+
+// SaveQuantized writes the forest as JSON in its compact flat-only form
+// (see ExportQuantized). Load accepts both formats transparently.
+func (f *Forest) SaveQuantized(w io.Writer) error {
+	e, err := f.ExportQuantized()
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(e)
 }
 
 // Load reads a forest saved with Save.

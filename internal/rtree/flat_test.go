@@ -1,0 +1,303 @@
+package rtree
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"blackforest/internal/stats"
+)
+
+// fitTestTrees grows nTrees CART trees on bootstrap resamples of a random
+// regression problem, mimicking how forest.Fit produces the trees that
+// CompileFlat consumes.
+func fitTestTrees(t testing.TB, seed uint64, nTrees, rows, features int) ([]*Tree, [][]float64) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := range x {
+		x[i] = make([]float64, features)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64() * 10
+		}
+		y[i] = x[i][0]*3 - x[i][features-1] + rng.NormFloat64()
+	}
+	trees := make([]*Tree, nTrees)
+	for k := range trees {
+		inBag, _ := rng.Bootstrap(rows)
+		tr, err := Fit(x, y, inBag, Params{MinNodeSize: 3, MTry: features, RNG: rng})
+		if err != nil {
+			t.Fatalf("fitting tree %d: %v", k, err)
+		}
+		trees[k] = tr
+	}
+	return trees, x
+}
+
+// TestFlatMatchesPointerWalker: the compiled engine must reproduce the
+// pointer walker bit for bit — same comparisons, verbatim leaf values,
+// tree-order summation.
+func TestFlatMatchesPointerWalker(t *testing.T) {
+	trees, x := fitTestTrees(t, 1, 7, 120, 4)
+	flat, err := CompileFlat(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.NumTrees() != len(trees) {
+		t.Fatalf("NumTrees = %d, want %d", flat.NumTrees(), len(trees))
+	}
+	if flat.NumFeatures() != 4 {
+		t.Fatalf("NumFeatures = %d, want 4", flat.NumFeatures())
+	}
+	wantNodes := 0
+	for _, tr := range trees {
+		wantNodes += tr.NumNodes()
+	}
+	if flat.NumNodes() != wantNodes {
+		t.Fatalf("NumNodes = %d, want %d", flat.NumNodes(), wantNodes)
+	}
+	if flat.Encoding() != "" {
+		t.Fatalf("in-process compile reports encoding %q, want \"\"", flat.Encoding())
+	}
+
+	out := make([]float64, len(x))
+	if err := flat.PredictBatch(x, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range x {
+		var s float64
+		for _, tr := range trees {
+			s += tr.Predict(row)
+		}
+		want := s / float64(len(trees))
+		got, err := flat.Predict(row)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("row %d: flat %v != pointer %v", i, got, want)
+		}
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: batch %v != pointer %v", i, out[i], want)
+		}
+	}
+}
+
+func TestCompileFlatRejects(t *testing.T) {
+	trees, _ := fitTestTrees(t, 2, 2, 40, 3)
+	if _, err := CompileFlat(nil); err == nil {
+		t.Fatal("compiled an empty forest")
+	}
+	if _, err := CompileFlat([]*Tree{trees[0], nil}); err == nil {
+		t.Fatal("compiled a nil tree")
+	}
+	other, _ := fitTestTrees(t, 3, 1, 40, 2)
+	if _, err := CompileFlat([]*Tree{trees[0], other[0]}); err == nil {
+		t.Fatal("compiled trees with mismatched feature counts")
+	}
+}
+
+func TestFlatPredictErrors(t *testing.T) {
+	trees, x := fitTestTrees(t, 4, 3, 60, 3)
+	flat, err := CompileFlat(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flat.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("predicted with a short vector")
+	}
+	if _, err := flat.Predict(nil); err == nil {
+		t.Fatal("predicted with a nil vector")
+	}
+	if err := flat.PredictBatch(x[:4], make([]float64, 3)); err == nil {
+		t.Fatal("batch accepted a mismatched output length")
+	}
+	bad := [][]float64{x[0], {1}}
+	if err := flat.PredictBatch(bad, make([]float64, 2)); err == nil {
+		t.Fatal("batch accepted a ragged row")
+	}
+}
+
+// TestFlatExportImportRoundTrip: a JSON round trip through the bundle
+// encoding must reconstruct the same structure (Equal) and the same
+// predictions, bit for bit.
+func TestFlatExportImportRoundTrip(t *testing.T) {
+	trees, x := fitTestTrees(t, 5, 5, 100, 4)
+	flat, err := CompileFlat(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(flat.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e ExportedFlatForest
+	if err := json.Unmarshal(blob, &e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportFlat(&e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(flat) {
+		t.Fatal("round-tripped forest differs structurally")
+	}
+	if got.Encoding() == "" {
+		t.Fatal("imported forest reports no encoding")
+	}
+	for i, row := range x {
+		a, err := flat.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("row %d: round trip changed prediction %v -> %v", i, a, b)
+		}
+	}
+}
+
+func TestEncodeValuesSelection(t *testing.T) {
+	roundTrip := func(t *testing.T, vals []float64, wantEnc string) {
+		t.Helper()
+		e := encodeValues(vals)
+		if e.Enc != wantEnc {
+			t.Fatalf("encoding = %q, want %q", e.Enc, wantEnc)
+		}
+		got, err := e.decode(len(vals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("value %d: %x -> %x", i, math.Float64bits(vals[i]), math.Float64bits(got[i]))
+			}
+		}
+	}
+
+	// Few distinct values, including the -0/+0 pair and NaN: dict16, and the
+	// decode must restore the exact bit patterns.
+	t.Run("dict16", func(t *testing.T) {
+		vals := []float64{1.5, -2.25, 1.5, math.Copysign(0, -1), 0, math.NaN(), 1.5}
+		roundTrip(t, vals, "dict16")
+	})
+
+	// More than 65536 distinct float32-exact values: f32.
+	t.Run("f32", func(t *testing.T) {
+		vals := make([]float64, 1<<16+10)
+		for i := range vals {
+			vals[i] = float64(float32(i) * 0.5)
+		}
+		roundTrip(t, vals, "f32")
+	})
+
+	// More than 65536 distinct values where at least one is not float32-exact:
+	// raw f64 fallback.
+	t.Run("f64", func(t *testing.T) {
+		vals := make([]float64, 1<<16+10)
+		for i := range vals {
+			vals[i] = float64(i) + 0.1
+		}
+		roundTrip(t, vals, "f64")
+	})
+}
+
+func TestDecodeValuesRejects(t *testing.T) {
+	cases := []ExportedValues{
+		{Enc: "dict16", Table: []float64{1}, Idx: []uint16{0}},    // wrong n (decode(2))
+		{Enc: "dict16", Table: nil, Idx: []uint16{0, 0}},          // empty table
+		{Enc: "dict16", Table: []float64{1}, Idx: []uint16{0, 5}}, // index out of table
+		{Enc: "f32", F32: []float32{1}},                           // wrong n
+		{Enc: "f64", F64: []float64{1}},                           // wrong n
+		{Enc: "zstd", F64: []float64{1, 2}},                       // unknown encoding
+	}
+	for i, e := range cases {
+		if _, err := e.decode(2); err == nil {
+			t.Fatalf("case %d: decoded invalid values", i)
+		}
+	}
+}
+
+// TestImportFlatRejectsHostile: structurally hostile bundles must be
+// rejected by validation, never walked.
+func TestImportFlatRejectsHostile(t *testing.T) {
+	valid := func() *ExportedFlatForest {
+		return &ExportedFlatForest{
+			NFeatures: 2,
+			Roots:     []int32{0, 3},
+			Feature:   []int32{0, -1, -1, -1},
+			Left:      []int32{1, 0, 0, 0},
+			Right:     []int32{2, 0, 0, 0},
+			Values:    ExportedValues{Enc: "f64", F64: []float64{0.5, 1, 2, 3}},
+		}
+	}
+	if _, err := ImportFlat(valid()); err != nil {
+		t.Fatalf("baseline bundle rejected: %v", err)
+	}
+
+	mutate := []struct {
+		name string
+		f    func(e *ExportedFlatForest)
+	}{
+		{"nil", func(e *ExportedFlatForest) { *e = ExportedFlatForest{} }},
+		{"no features", func(e *ExportedFlatForest) { e.NFeatures = 0 }},
+		{"no nodes", func(e *ExportedFlatForest) {
+			e.Feature, e.Left, e.Right = nil, nil, nil
+			e.Values = ExportedValues{Enc: "f64"}
+		}},
+		{"ragged arrays", func(e *ExportedFlatForest) { e.Left = e.Left[:2] }},
+		{"no roots", func(e *ExportedFlatForest) { e.Roots = nil }},
+		{"first root nonzero", func(e *ExportedFlatForest) { e.Roots[0] = 1 }},
+		{"roots not increasing", func(e *ExportedFlatForest) { e.Roots = []int32{0, 0} }},
+		{"root out of range", func(e *ExportedFlatForest) { e.Roots = []int32{0, 9} }},
+		{"feature out of range", func(e *ExportedFlatForest) { e.Feature[0] = 7 }},
+		{"self cycle", func(e *ExportedFlatForest) { e.Left[0] = 0 }},
+		{"backward edge", func(e *ExportedFlatForest) {
+			e.Feature[1] = 0
+			e.Left[1], e.Right[1] = 1, 2 // left child == self
+		}},
+		{"child crosses tree span", func(e *ExportedFlatForest) { e.Right[0] = 3 }},
+		{"child out of range", func(e *ExportedFlatForest) { e.Right[0] = 99 }},
+		{"bad values", func(e *ExportedFlatForest) { e.Values = ExportedValues{Enc: "f64", F64: []float64{1}} }},
+	}
+	for _, m := range mutate {
+		e := valid()
+		m.f(e)
+		if _, err := ImportFlat(e); err == nil {
+			t.Fatalf("%s: hostile bundle accepted", m.name)
+		}
+	}
+}
+
+// TestImportFlatNormalizesLeafChildren: serialized junk in leaf child slots
+// must not survive import (it would break Equal against a compiled forest).
+func TestImportFlatNormalizesLeafChildren(t *testing.T) {
+	e := &ExportedFlatForest{
+		NFeatures: 1,
+		Roots:     []int32{0},
+		Feature:   []int32{0, -1, -1},
+		Left:      []int32{1, 42, -7},
+		Right:     []int32{2, 13, 99},
+		Values:    ExportedValues{Enc: "f64", F64: []float64{0, 1, 2}},
+	}
+	f, err := ImportFlat(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if f.left[i] != 0 || f.right[i] != 0 {
+			t.Fatalf("leaf %d children not normalized: (%d, %d)", i, f.left[i], f.right[i])
+		}
+	}
+	got, err := f.Predict([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("Predict = %v, want 2", got)
+	}
+}

@@ -55,3 +55,71 @@ func FuzzImport(f *testing.F) {
 		}
 	})
 }
+
+// FuzzImportFlat: the flat bundle decoder must never panic on arbitrary
+// JSON, and any flat forest that imports successfully must terminate and
+// stay in range on Predict. The children-after-parent-within-span check is
+// what makes a walk through a hostile node array safe; cycles and
+// out-of-range child offsets must be rejected at import, never walked.
+func FuzzImportFlat(f *testing.F) {
+	// Seed with a genuine compiled forest...
+	x := [][]float64{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {5, 2}, {6, 3}, {7, 3}}
+	y := []float64{0, 0, 1, 1, 4, 4, 9, 9}
+	var trees []*Tree
+	for i := 0; i < 3; i++ {
+		tree, err := Fit(x, y, []int{i, i + 1, i + 2, i + 3, i + 4, 0, 1, 2}, Params{MinNodeSize: 2})
+		if err != nil {
+			f.Fatal(err)
+		}
+		trees = append(trees, tree)
+	}
+	flat, err := CompileFlat(trees)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(flat.Export())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// ...and structurally hostile variants: self cycles, backward edges,
+	// children escaping their tree span, bad roots, bad dict16 indices.
+	f.Add([]byte(`{"features":1,"roots":[0],"feature":[0],"left":[0],"right":[0],"values":{"enc":"f64","f64":[1]}}`))
+	f.Add([]byte(`{"features":1,"roots":[0],"feature":[0,0,-1],"left":[1,0,0],"right":[2,2,0],"values":{"enc":"f64","f64":[1,2,3]}}`))
+	f.Add([]byte(`{"features":2,"roots":[0,1],"feature":[-1,0],"left":[0,2],"right":[0,3],"values":{"enc":"f64","f64":[1,2]}}`))
+	f.Add([]byte(`{"features":2,"roots":[1,0],"feature":[-1,-1],"left":[0,0],"right":[0,0],"values":{"enc":"f64","f64":[1,2]}}`))
+	f.Add([]byte(`{"features":1,"roots":[0],"feature":[-1],"left":[0],"right":[0],"values":{"enc":"dict16","table":[5],"idx":[9]}}`))
+	f.Add([]byte(`{"features":1,"roots":[0],"feature":[-1],"left":[0],"right":[0],"values":{"enc":"f32","f32":[1.5]}}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e ExportedFlatForest
+		if err := json.Unmarshal(data, &e); err != nil {
+			return
+		}
+		ff, err := ImportFlat(&e)
+		if err != nil {
+			return
+		}
+		// The imported forest must walk every tree to a leaf on any input
+		// without panicking or looping: probe a few vectors of the declared
+		// width, plus batch mode over the same probes.
+		probes := make([][]float64, 0, 4)
+		for _, fill := range []float64{0, 1e9, -1e9, math.NaN()} {
+			probe := make([]float64, ff.NumFeatures())
+			for i := range probe {
+				probe[i] = fill
+			}
+			if _, err := ff.Predict(probe); err != nil {
+				t.Fatalf("imported forest rejected a %d-wide probe: %v", len(probe), err)
+			}
+			probes = append(probes, probe)
+		}
+		if err := ff.PredictBatch(probes, make([]float64, len(probes))); err != nil {
+			t.Fatalf("imported forest rejected a probe batch: %v", err)
+		}
+		if got := ff.NumNodes(); got != len(e.Feature) {
+			t.Fatalf("imported forest has %d nodes, exported %d", got, len(e.Feature))
+		}
+	})
+}

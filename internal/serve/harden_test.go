@@ -1,0 +1,312 @@
+package serve
+
+// Serving-path hardening tests: panics answered as 500s (the server
+// survives), singleflight coalescing of concurrent identical predictions,
+// and delivered-only prediction metrics.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blackforest/internal/core"
+)
+
+// scrapeMetrics fetches /metrics as text.
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestPanicOnSingleRequestAnswers500: a panic inside the prediction path of
+// a single-vector request must surface as a JSON 500 through the recover
+// middleware (http.TimeoutHandler re-raises the inner goroutine's panic in
+// the outer frame), count in bfserve_panics_total, and leave the server
+// fully functional.
+func TestPanicOnSingleRequestAnswers500(t *testing.T) {
+	ps := testScaler(t, 3)
+	var calls atomic.Int64
+	s, hs := newTestServer(t, ps, Config{})
+	s.testHookPredict = func() {
+		if calls.Add(1) == 1 {
+			panic("deliberately broken predictor")
+		}
+	}
+
+	resp, raw := postPredict(t, hs.URL, `{"chars":{"size":320}}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", resp.StatusCode, raw)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		t.Fatalf("500 body is not a JSON error: %s", raw)
+	}
+	if !strings.Contains(e.Error, "deliberately broken predictor") {
+		t.Fatalf("500 body does not name the panic: %s", raw)
+	}
+
+	// The server must still answer; the hook no longer panics.
+	resp2, raw2 := postPredict(t, hs.URL, `{"chars":{"size":320}}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("server did not survive the panic: status %d: %s", resp2.StatusCode, raw2)
+	}
+	text := scrapeMetrics(t, hs.URL)
+	if !strings.Contains(text, "bfserve_panics_total 1") {
+		t.Fatalf("metrics missing bfserve_panics_total 1:\n%s", text)
+	}
+}
+
+// TestPanicInBatchWorkerAnswers500: a panic inside a parallel batch worker
+// goroutine cannot be caught by HTTP middleware — predictOneSafe must convert
+// it to an error that handlePredict maps to 500, and the process must
+// survive.
+func TestPanicInBatchWorkerAnswers500(t *testing.T) {
+	ps := testScaler(t, 3)
+	var calls atomic.Int64
+	s, hs := newTestServer(t, ps, Config{Workers: 4})
+	s.testHookPredict = func() {
+		if calls.Add(1) == 1 {
+			panic("worker boom")
+		}
+	}
+
+	resp, raw := postPredict(t, hs.URL,
+		`{"batch":[{"size":64},{"size":128},{"size":256},{"size":512}]}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", resp.StatusCode, raw)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error, "prediction panicked") {
+		t.Fatalf("500 body does not report the worker panic: %s", raw)
+	}
+
+	resp2, raw2 := postPredict(t, hs.URL, `{"batch":[{"size":64},{"size":128}]}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("server did not survive the worker panic: status %d: %s", resp2.StatusCode, raw2)
+	}
+	text := scrapeMetrics(t, hs.URL)
+	if !strings.Contains(text, "bfserve_panics_total 1") {
+		t.Fatalf("metrics missing bfserve_panics_total 1:\n%s", text)
+	}
+}
+
+// TestSingleflightCoalescesStampede: N concurrent identical cold requests
+// must trigger exactly one model computation. The first computation blocks in
+// the hook while the rest arrive; without coalescing each of them would miss
+// the cache and compute independently (the stampede). The count is
+// deterministic: the leader's cache put happens before its flight entry is
+// removed, so every other request either coalesces or hits the cache.
+func TestSingleflightCoalescesStampede(t *testing.T) {
+	ps := testScaler(t, 3)
+	var computations atomic.Int64
+	release := make(chan struct{})
+	s, hs := newTestServer(t, ps, Config{CacheSize: 16})
+	s.testHookPredict = func() {
+		computations.Add(1)
+		<-release
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(hs.URL+"/v1/predict", "application/json",
+				strings.NewReader(`{"chars":{"size":896}}`))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	// Let the requests pile up behind the blocked leader, then release it.
+	deadline := time.After(5 * time.Second)
+	for computations.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no request reached the predictor")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := computations.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical requests computed %d times, want 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if codes[i] != codes[0] || !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d answered differently: %d %s vs %d %s",
+				i, codes[i], bodies[i], codes[0], bodies[0])
+		}
+	}
+	if codes[0] != http.StatusOK {
+		t.Fatalf("status %d: %s", codes[0], bodies[0])
+	}
+}
+
+// TestSingleflightFollowerNeverHangs: if the in-flight leader panics, any
+// goroutine coalesced onto it must be released promptly (with an error or a
+// freshly computed answer), never hang on the abandoned call.
+func TestSingleflightFollowerNeverHangs(t *testing.T) {
+	ps := testScaler(t, 3)
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s, err := New(Config{Scaler: ps, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testHookPredict = func() {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-release
+			panic("leader boom")
+		}
+	}
+
+	chars := map[string]float64{"size": 448}
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.predictOneSafe(chars)
+		leaderDone <- err
+	}()
+	<-entered
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		s.predictOneSafe(chars)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-leaderDone:
+		if _, ok := err.(*panicError); !ok {
+			t.Fatalf("leader returned %v, want *panicError", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never returned")
+	}
+	select {
+	case <-followerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower hung on the panicked leader's flight call")
+	}
+}
+
+// TestMetricsCountOnlyDeliveredPredictions: a batch abandoned on context
+// expiry returns nothing to the client, so none of its rows may count in
+// bfserve_predictions_total (or the cache hit/miss counters).
+func TestMetricsCountOnlyDeliveredPredictions(t *testing.T) {
+	ps := testScaler(t, 3)
+	release := make(chan struct{})
+	var once sync.Once
+	s, hs := newTestServer(t, ps, Config{Workers: 1, RequestTimeout: 100 * time.Millisecond})
+	s.testHookPredict = func() {
+		once.Do(func() { <-release })
+	}
+
+	resp, raw := postPredict(t, hs.URL, `{"batch":[{"size":64},{"size":128},{"size":256}]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (timeout): %s", resp.StatusCode, raw)
+	}
+	close(release)
+	// Let the abandoned handler goroutine finish unwinding before scraping.
+	time.Sleep(100 * time.Millisecond)
+
+	text := scrapeMetrics(t, hs.URL)
+	for _, want := range []string{
+		"bfserve_predictions_total 0",
+		"bfserve_cache_hits_total 0",
+		"bfserve_cache_misses_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q after an undelivered batch:\n%s", want, text)
+		}
+	}
+
+	// A delivered request counts normally.
+	resp2, raw2 := postPredict(t, hs.URL, `{"chars":{"size":64}}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, raw2)
+	}
+	if text := scrapeMetrics(t, hs.URL); !strings.Contains(text, "bfserve_predictions_total 1") {
+		t.Fatalf("delivered prediction not counted:\n%s", text)
+	}
+}
+
+// TestModelEndpointReportsEngine: /v1/model (and every predict answer) names
+// the inference engine — "flat" for a fitted model, "flat(<enc>)" for one
+// loaded from a quantized bundle.
+func TestModelEndpointReportsEngine(t *testing.T) {
+	ps := testScaler(t, 3)
+	_, hs := newTestServer(t, ps, Config{})
+	var rep ModelReport
+	resp, err := http.Get(hs.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model.Engine != "flat" {
+		t.Fatalf("fitted model engine = %q, want flat", rep.Model.Engine)
+	}
+
+	var buf bytes.Buffer
+	if err := ps.SaveQuantized(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadProblemScaler(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qhs := newTestServer(t, loaded, Config{})
+	resp, err = http.Get(qhs.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rep.Model.Engine, "flat(") {
+		t.Fatalf("quantized model engine = %q, want flat(<enc>)", rep.Model.Engine)
+	}
+	pr, raw := postPredict(t, qhs.URL, `{"chars":{"size":512}}`)
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("quantized-loaded model predict status %d: %s", pr.StatusCode, raw)
+	}
+	var predResp PredictResponse
+	if err := json.Unmarshal(raw, &predResp); err != nil {
+		t.Fatal(err)
+	}
+	if predResp.Model.Engine != rep.Model.Engine {
+		t.Fatalf("predict engine %q != model engine %q", predResp.Model.Engine, rep.Model.Engine)
+	}
+}

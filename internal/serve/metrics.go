@@ -31,6 +31,7 @@ type metrics struct {
 
 	shed     int64 // requests rejected by load shedding
 	injected int64 // faults injected by the chaos layer
+	panics   int64 // panics recovered into 500 answers
 }
 
 func newMetrics() *metrics {
@@ -79,6 +80,13 @@ func (m *metrics) addInjected() {
 	m.mu.Unlock()
 }
 
+// addPanic counts one panic recovered into a 500 answer.
+func (m *metrics) addPanic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
 // quantile returns the q-quantile of sorted xs (nearest-rank).
 func quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
@@ -103,7 +111,7 @@ func (m *metrics) writePrometheus(w io.Writer, cacheSize, cacheCap int) {
 	window := append([]float64(nil), m.latencies...)
 	latCount, latSum := m.latCount, m.latSum
 	predictions, hits, misses := m.predictions, m.cacheHits, m.cacheMisses
-	shed, injected := m.shed, m.injected
+	shed, injected, panics := m.shed, m.injected, m.panics
 	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP bfserve_requests_total Completed HTTP requests by path and status code.")
@@ -142,6 +150,10 @@ func (m *metrics) writePrometheus(w io.Writer, cacheSize, cacheCap int) {
 	fmt.Fprintln(w, "# HELP bfserve_injected_faults_total Faults injected by the chaos layer.")
 	fmt.Fprintln(w, "# TYPE bfserve_injected_faults_total counter")
 	fmt.Fprintf(w, "bfserve_injected_faults_total %d\n", injected)
+
+	fmt.Fprintln(w, "# HELP bfserve_panics_total Panics recovered into 500 answers.")
+	fmt.Fprintln(w, "# TYPE bfserve_panics_total counter")
+	fmt.Fprintf(w, "bfserve_panics_total %d\n", panics)
 
 	rate := 0.0
 	if hits+misses > 0 {

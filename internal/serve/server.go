@@ -74,6 +74,12 @@ type Server struct {
 	// inflight is the load-shedding semaphore for /v1/predict; nil
 	// disables shedding.
 	inflight chan struct{}
+	// flight coalesces concurrent identical predictions (singleflight): one
+	// goroutine computes per distinct vector key, the rest wait for its
+	// result — without it, N concurrent identical cold vectors would all
+	// recompute before the first cache put (a cache-miss stampede).
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
 	// faults injects serve-side chaos (nil = off); reqID numbers predict
 	// requests so injection decisions are per-request deterministic.
 	faults *faults.Injector
@@ -125,6 +131,7 @@ func New(cfg Config) (*Server, error) {
 		maxBody: cfg.MaxBodyBytes,
 		metrics: newMetrics(),
 		faults:  cfg.Faults,
+		flight:  make(map[string]*flightCall),
 	}
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
@@ -152,6 +159,11 @@ type ModelInfo struct {
 	Response      string   `json:"response"`
 	CharNames     []string `json:"char_names"`
 	TestR2        float64  `json:"test_r2"`
+	// Engine names the forest inference engine answering predictions:
+	// "flat" for the compiled contiguous-array engine (with the bundle
+	// value encoding appended when loaded from a quantized bundle, e.g.
+	// "flat(dict16)"), "pointer" for the per-tree node walker.
+	Engine string `json:"engine"`
 }
 
 // PredictResponse is the body answering POST /v1/predict.
@@ -205,40 +217,106 @@ func (s *Server) modelInfo() ModelInfo {
 		Response:      s.scaler.Response(),
 		CharNames:     s.scaler.CharNames,
 		TestR2:        s.scaler.Reduced.TestR2,
+		Engine:        s.scaler.Reduced.Forest.Engine(),
 	}
 }
 
-// predictOne answers one characteristic vector, consulting the cache.
-// It returns the prediction and whether it was served from cache.
-func (s *Server) predictOne(chars map[string]float64) (Prediction, bool, error) {
-	key, keyed := "", false
-	if s.cache != nil {
-		key, keyed = vectorKey(s.scaler.CharNames, chars)
-		if keyed {
-			if p, ok := s.cache.get(key); ok {
-				return p, true, nil
-			}
-		}
-	}
+// flightCall is one in-flight computation waiters coalesce onto; p and err
+// are valid once done is closed.
+type flightCall struct {
+	done chan struct{}
+	p    Prediction
+	err  error
+}
+
+// computeOne runs the model for one characteristic vector, no cache, no
+// coalescing.
+func (s *Server) computeOne(chars map[string]float64) (Prediction, error) {
 	if s.testHookPredict != nil {
 		s.testHookPredict()
 	}
 	t, counters, err := s.scaler.PredictDetail(chars)
 	if err != nil {
-		return Prediction{}, false, err
+		return Prediction{}, err
 	}
-	p := Prediction{TimeMS: t, Counters: counters}
-	if s.cache != nil && keyed {
+	return Prediction{TimeMS: t, Counters: counters}, nil
+}
+
+// predictOne answers one characteristic vector, consulting the cache and
+// coalescing concurrent identical computations (singleflight keyed on the
+// canonical vector key). It returns the prediction and whether it was served
+// without computing (cache hit or coalesced onto another request's result).
+func (s *Server) predictOne(chars map[string]float64) (Prediction, bool, error) {
+	key, keyed := vectorKey(s.scaler.CharNames, chars)
+	if !keyed {
+		// Vector misses model characteristics: uncacheable, and the model
+		// will report the precise missing name.
+		p, err := s.computeOne(chars)
+		return p, false, err
+	}
+	if s.cache != nil {
+		if p, ok := s.cache.get(key); ok {
+			return p, true, nil
+		}
+	}
+	s.flightMu.Lock()
+	if c, ok := s.flight[key]; ok {
+		s.flightMu.Unlock()
+		<-c.done
+		return c.p, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[key] = c
+	s.flightMu.Unlock()
+	completed := false
+	defer func() {
+		if !completed {
+			// The computation panicked out of this frame: fail the waiters
+			// (they must not hang) and let the panic keep unwinding into the
+			// recover middleware / batch-worker recovery.
+			c.err = errors.New("prediction panicked")
+		}
+		s.flightMu.Lock()
+		delete(s.flight, key)
+		s.flightMu.Unlock()
+		close(c.done)
+	}()
+	p, err := s.computeOne(chars)
+	c.p, c.err = p, err
+	completed = true
+	if err == nil && s.cache != nil {
 		s.cache.put(key, p)
 	}
-	return p, false, nil
+	return p, false, err
 }
+
+// predictOneSafe is predictOne with panics converted to a *panicError, for
+// batch workers: a panic inside a worker goroutine would bypass the HTTP
+// recover middleware and kill the whole process.
+func (s *Server) predictOneSafe(chars map[string]float64) (p Prediction, hit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{v: r}
+		}
+	}()
+	return s.predictOne(chars)
+}
+
+// panicError marks a prediction that panicked; handlePredict maps it to 500.
+type panicError struct{ v any }
+
+func (e *panicError) Error() string { return fmt.Sprintf("prediction panicked: %v", e.v) }
 
 // predictRows answers a batch over the worker pool. Row order is preserved
 // and results are identical for every worker count. The request context is
 // observed between rows: once its deadline passes (http.TimeoutHandler
 // sets one), remaining rows are abandoned and the context error returned,
 // so a timed-out request stops burning CPU.
+//
+// Prediction/cache metrics count only delivered work: a batch that times
+// out, is canceled, or fails on any row returns nothing to the client, so
+// its partial hits and misses are not recorded (bfserve_predictions_total is
+// a counter of answers served, not of internal model evaluations).
 func (s *Server) predictRows(ctx context.Context, rows []map[string]float64) ([]Prediction, error) {
 	out := make([]Prediction, len(rows))
 	errs := make([]error, len(rows))
@@ -251,7 +329,6 @@ func (s *Server) predictRows(ctx context.Context, rows []map[string]float64) ([]
 	if workers <= 1 {
 		for i, row := range rows {
 			if err := ctx.Err(); err != nil {
-				s.metrics.addPredictions(hits, misses)
 				return nil, err
 			}
 			p, hit, err := s.predictOne(row)
@@ -280,7 +357,7 @@ func (s *Server) predictRows(ctx context.Context, rows []map[string]float64) ([]
 					if i >= len(rows) {
 						return
 					}
-					p, hit, err := s.predictOne(rows[i])
+					p, hit, err := s.predictOneSafe(rows[i])
 					out[i], errs[i] = p, err
 					if err == nil {
 						if hit {
@@ -295,7 +372,6 @@ func (s *Server) predictRows(ctx context.Context, rows []map[string]float64) ([]
 		wg.Wait()
 		hits, misses = ahits.Load(), amisses.Load()
 	}
-	s.metrics.addPredictions(hits, misses)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -304,6 +380,7 @@ func (s *Server) predictRows(ctx context.Context, rows []map[string]float64) ([]
 			return nil, fmt.Errorf("row %d: %w", i, err)
 		}
 	}
+	s.metrics.addPredictions(hits, misses)
 	return out, nil
 }
 
@@ -357,6 +434,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	preds, err := s.predictRows(r.Context(), rows)
 	if err != nil {
+		var pe *panicError
 		code := http.StatusBadRequest
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -365,6 +443,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusGatewayTimeout
 		case errors.Is(err, context.Canceled):
 			code = http.StatusServiceUnavailable
+		case errors.As(err, &pe):
+			s.metrics.addPanic()
+			code = http.StatusInternalServerError
 		}
 		writeJSON(w, code, errorResponse{Error: err.Error()})
 		return
@@ -470,17 +551,36 @@ func (s *Server) instrument(path string, h http.Handler) http.Handler {
 	})
 }
 
+// recovered wraps a handler with a recover-to-500 backstop: a panic
+// anywhere in request handling (http.TimeoutHandler re-raises its inner
+// goroutine's panics in this frame) answers a JSON 500 instead of tearing
+// down the connection — one bad predict can never take the server down.
+// Batch workers carry their own recovery (predictOneSafe): a panic in a
+// worker goroutine would bypass any middleware and kill the process.
+func (s *Server) recovered(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.addPanic()
+				writeJSON(w, http.StatusInternalServerError,
+					errorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
 // Handler returns the service's HTTP handler: the prediction endpoints are
-// instrumented and bounded by the per-request timeout.
+// instrumented, panic-recovered, and bounded by the per-request timeout.
 func (s *Server) Handler() http.Handler {
 	timeoutBody := `{"error":"request timed out"}`
 	mux := http.NewServeMux()
-	mux.Handle("/v1/predict", s.instrument("/v1/predict",
-		http.TimeoutHandler(http.HandlerFunc(s.handlePredict), s.timeout, timeoutBody)))
-	mux.Handle("/v1/model", s.instrument("/v1/model",
-		http.TimeoutHandler(http.HandlerFunc(s.handleModel), s.timeout, timeoutBody)))
-	mux.Handle("/healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
-	mux.Handle("/metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	mux.Handle("/v1/predict", s.instrument("/v1/predict", s.recovered(
+		http.TimeoutHandler(http.HandlerFunc(s.handlePredict), s.timeout, timeoutBody))))
+	mux.Handle("/v1/model", s.instrument("/v1/model", s.recovered(
+		http.TimeoutHandler(http.HandlerFunc(s.handleModel), s.timeout, timeoutBody))))
+	mux.Handle("/healthz", s.instrument("/healthz", s.recovered(http.HandlerFunc(s.handleHealthz))))
+	mux.Handle("/metrics", s.instrument("/metrics", s.recovered(http.HandlerFunc(s.handleMetrics))))
 	return mux
 }
 
