@@ -1,0 +1,140 @@
+// bfload replays synthetic predict traffic against a running bfserve and
+// reports throughput and latency quantiles as JSON. Characteristic vectors
+// are sampled from the served bundle's own training scales, so the replayed
+// traffic looks like the problems the model was fitted on:
+//
+//	bfload -url http://localhost:8391 -bundle model.json -n 5000 -concurrency 16
+//	bfload -url http://localhost:8391 -model matmul -bundle models/matmul.json \
+//	       -n 2000 -qps 500 -json report.json
+//
+// Without -bundle, give the distributions explicitly:
+//
+//	bfload -chars "size=64:262144,threads=1:32" -n 1000
+//
+// The request sequence is deterministic in -seed: two runs with the same
+// seed offer byte-identical bodies in the same order, so reports are
+// comparable across server configurations (cache on/off, coalescing
+// windows, worker counts).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"blackforest/internal/core"
+	"blackforest/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8391", "bfserve base URL")
+	model := flag.String("model", "", "route requests to /v1/models/{name}/predict (empty = default-model /v1/predict)")
+	bundle := flag.String("bundle", "", "model bundle to sample characteristic distributions from")
+	chars := flag.String("chars", "", `explicit characteristic ranges, e.g. "size=64:4096,threads=1:32" (overrides -bundle)`)
+	n := flag.Int("n", 1000, "total predict requests to send")
+	concurrency := flag.Int("concurrency", 8, "concurrent worker connections")
+	qps := flag.Float64("qps", 0, "target offered rate (0 = as fast as possible)")
+	seed := flag.Uint64("seed", 1, "seed for the synthetic request sequence")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	jsonOut := flag.String("json", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	var dists []loadgen.CharDist
+	var err error
+	switch {
+	case *chars != "":
+		dists, err = parseChars(*chars)
+	case *bundle != "":
+		var ps *core.ProblemScaler
+		if ps, err = core.LoadProblemScalerFile(*bundle); err == nil {
+			dists = loadgen.DistsFromScaler(ps)
+		}
+	default:
+		err = fmt.Errorf("one of -bundle or -chars is required")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     strings.TrimRight(*url, "/"),
+		Model:       *model,
+		N:           *n,
+		Concurrency: *concurrency,
+		QPS:         *qps,
+		Seed:        *seed,
+		Chars:       dists,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	out := os.Stdout
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+		fmt.Printf("%d requests in %.1f ms: %.0f req/s, p50 %.3f ms, p99 %.3f ms, %d errors\n",
+			rep.Requests, rep.DurationMS, rep.Throughput,
+			rep.LatencyMS.P50, rep.LatencyMS.P99, rep.Errors)
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		fatal(err)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseChars parses "name=min:max,name=min:max" into distributions.
+func parseChars(spec string) ([]loadgen.CharDist, error) {
+	var dists []loadgen.CharDist
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rng, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad characteristic %q (want name=min:max)", part)
+		}
+		lo, hi, ok := strings.Cut(rng, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad range %q for %q (want min:max)", rng, name)
+		}
+		min, err := strconv.ParseFloat(lo, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad min for %q: %w", name, err)
+		}
+		max, err := strconv.ParseFloat(hi, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad max for %q: %w", name, err)
+		}
+		if max < min {
+			return nil, fmt.Errorf("range for %q is reversed (%g > %g)", name, min, max)
+		}
+		dists = append(dists, loadgen.CharDist{Name: name, Min: min, Max: max})
+	}
+	if len(dists) == 0 {
+		return nil, fmt.Errorf("no characteristics in %q", spec)
+	}
+	return dists, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseChars(t *testing.T) {
+	dists, err := parseChars("size=64:4096, threads=1:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dists) != 2 {
+		t.Fatalf("%d dists", len(dists))
+	}
+	if dists[0].Name != "size" || dists[0].Min != 64 || dists[0].Max != 4096 {
+		t.Fatalf("dist 0: %+v", dists[0])
+	}
+	if dists[1].Name != "threads" || dists[1].Min != 1 || dists[1].Max != 32 {
+		t.Fatalf("dist 1: %+v", dists[1])
+	}
+
+	for _, bad := range []string{
+		"",
+		"size",
+		"size=64",
+		"=64:128",
+		"size=a:b",
+		"size=128:64",
+		"size=64:",
+	} {
+		if d, err := parseChars(bad); err == nil {
+			t.Errorf("parseChars(%q) accepted: %+v", bad, d)
+		}
+	}
+}

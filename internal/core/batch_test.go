@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPredictDetailAllBitIdentical: the batched predict path must return,
+// for every valid row, exactly the bits PredictDetail returns row by row —
+// the serving coalescer's correctness rests on this.
+func TestPredictDetailAllBitIdentical(t *testing.T) {
+	ps := fitScaler(t, 11)
+	rows := charGrid()
+	times, counters, errs := ps.PredictDetailAll(rows)
+	if len(times) != len(rows) || len(counters) != len(rows) || len(errs) != len(rows) {
+		t.Fatalf("lengths %d/%d/%d for %d rows", len(times), len(counters), len(errs), len(rows))
+	}
+	for i, row := range rows {
+		wantT, wantC, err := ps.PredictDetail(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs[i] != nil {
+			t.Fatalf("row %d: batch errored: %v", i, errs[i])
+		}
+		if math.Float64bits(times[i]) != math.Float64bits(wantT) {
+			t.Fatalf("row %d: batch time %v != sequential %v", i, times[i], wantT)
+		}
+		if len(counters[i]) != len(wantC) {
+			t.Fatalf("row %d: %d counters, want %d", i, len(counters[i]), len(wantC))
+		}
+		for name, want := range wantC {
+			if got := counters[i][name]; math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("row %d counter %s: %v != %v", i, name, got, want)
+			}
+		}
+	}
+}
+
+// TestPredictDetailAllRowsFailIndependently: a bad row errors alone; its
+// neighbors still predict bit-identically to the sequential path.
+func TestPredictDetailAllRowsFailIndependently(t *testing.T) {
+	ps := fitScaler(t, 11)
+	rows := []map[string]float64{
+		{"size": 256},
+		{"wrong_characteristic": 1}, // missing "size"
+		{"size": 1024},
+	}
+	times, _, errs := ps.PredictDetailAll(rows)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good rows errored: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("bad row did not error")
+	}
+	for _, i := range []int{0, 2} {
+		want, _, err := ps.PredictDetail(rows[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(times[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: %v != %v beside a failing row", i, times[i], want)
+		}
+	}
+
+	// Empty input is a no-op, not a panic.
+	ts, cs, es := ps.PredictDetailAll(nil)
+	if len(ts) != 0 || len(cs) != 0 || len(es) != 0 {
+		t.Fatalf("nil rows returned %d/%d/%d results", len(ts), len(cs), len(es))
+	}
+}
+
+// TestCharacteristicScales: every model characteristic gets a positive
+// training scale the load generator can sample from.
+func TestCharacteristicScales(t *testing.T) {
+	ps := fitScaler(t, 11)
+	scales := ps.CharacteristicScales()
+	if len(scales) != len(ps.CharNames) {
+		t.Fatalf("%d scales for %d characteristics", len(scales), len(ps.CharNames))
+	}
+	for _, name := range ps.CharNames {
+		s, ok := scales[name]
+		if !ok || !(s > 0) || math.IsInf(s, 0) || math.IsNaN(s) {
+			t.Fatalf("characteristic %q scale %v (present %v)", name, s, ok)
+		}
+	}
+	// The fixture's sizes reach 64*64; max-abs scaling must reflect that,
+	// not default to 1.
+	if scales["size"] < 64 {
+		t.Fatalf("size scale %v does not reflect training data", scales["size"])
+	}
+}
+
+// TestBundleMeta: the metadata accessor mirrors the bundle's identity
+// without touching serving internals.
+func TestBundleMeta(t *testing.T) {
+	ps := fitScaler(t, 11)
+	meta := ps.Meta()
+	if meta.Version != BundleVersion {
+		t.Fatalf("meta version %d, want %d", meta.Version, BundleVersion)
+	}
+	if meta.Response != ps.Response() {
+		t.Fatalf("meta response %q, want %q", meta.Response, ps.Response())
+	}
+	if len(meta.CharNames) != len(ps.CharNames) {
+		t.Fatalf("meta has %d characteristics, scaler %d", len(meta.CharNames), len(ps.CharNames))
+	}
+	if meta.NumTrees != ps.Reduced.Forest.NumTrees() || meta.NumTrees == 0 {
+		t.Fatalf("meta trees %d, forest %d", meta.NumTrees, ps.Reduced.Forest.NumTrees())
+	}
+	if meta.Engine != ps.Reduced.Forest.Engine() {
+		t.Fatalf("meta engine %q, forest %q", meta.Engine, ps.Reduced.Forest.Engine())
+	}
+	if meta.Counters != len(ps.Models) {
+		t.Fatalf("meta counters %d, scaler %d", meta.Counters, len(ps.Models))
+	}
+	if meta.Degraded {
+		t.Fatal("healthy fixture reported degraded")
+	}
+}

@@ -353,6 +353,36 @@ func LoadProblemScalerFile(path string) (*ProblemScaler, error) {
 // Response returns the response column the scaler predicts.
 func (ps *ProblemScaler) Response() string { return ps.Reduced.cfg.response() }
 
+// BundleMeta is the compact identity of a loaded model bundle — what a
+// registry needs to name, list, and route to a model without reaching into
+// the scaler's internals.
+type BundleMeta struct {
+	Version   int      `json:"bundle_version"`
+	Response  string   `json:"response"`
+	CharNames []string `json:"char_names"`
+	Engine    string   `json:"engine"`
+	NumTrees  int      `json:"num_trees"`
+	TestR2    float64  `json:"test_r2"`
+	Counters  int      `json:"counter_models"`
+	// Degraded is true when the bundle discloses it was trained on a
+	// repaired, incomplete collection.
+	Degraded bool `json:"degraded"`
+}
+
+// Meta returns the scaler's bundle metadata.
+func (ps *ProblemScaler) Meta() BundleMeta {
+	return BundleMeta{
+		Version:   BundleVersion,
+		Response:  ps.Response(),
+		CharNames: append([]string(nil), ps.CharNames...),
+		Engine:    ps.Reduced.Forest.Engine(),
+		NumTrees:  ps.Reduced.Forest.NumTrees(),
+		TestR2:    ps.Reduced.TestR2,
+		Counters:  len(ps.Models),
+		Degraded:  ps.Degradation != nil,
+	}
+}
+
 // CounterNames returns the modeled counters in sorted order.
 func (ps *ProblemScaler) CounterNames() []string {
 	out := make([]string, 0, len(ps.Models))

@@ -258,14 +258,15 @@ func (ps *ProblemScaler) PredictTime(chars map[string]float64) (float64, error) 
 	return t, err
 }
 
-// PredictDetail is PredictTime plus the intermediate per-counter
-// predictions the forest consumed — the serving layer's response payload.
-func (ps *ProblemScaler) PredictDetail(chars map[string]float64) (float64, map[string]float64, error) {
+// assembleVector builds the reduced forest's input vector for one query:
+// characteristics are taken from the query, counters from their models. It
+// returns the vector and the intermediate counter predictions.
+func (ps *ProblemScaler) assembleVector(chars map[string]float64) ([]float64, map[string]float64, error) {
 	charVec := make([]float64, len(ps.CharNames))
 	for i, n := range ps.CharNames {
 		v, ok := chars[n]
 		if !ok {
-			return 0, nil, fmt.Errorf("core: missing characteristic %q", n)
+			return nil, nil, fmt.Errorf("core: missing characteristic %q", n)
 		}
 		charVec[i] = v
 	}
@@ -275,13 +276,23 @@ func (ps *ProblemScaler) PredictDetail(chars map[string]float64) (float64, map[s
 		if isCharacteristic(name) {
 			v, ok := chars[name]
 			if !ok {
-				return 0, nil, fmt.Errorf("core: missing characteristic %q", name)
+				return nil, nil, fmt.Errorf("core: missing characteristic %q", name)
 			}
 			x[i] = v
 			continue
 		}
 		x[i] = ps.Models[name].Predict(charVec)
 		counters[name] = x[i]
+	}
+	return x, counters, nil
+}
+
+// PredictDetail is PredictTime plus the intermediate per-counter
+// predictions the forest consumed — the serving layer's response payload.
+func (ps *ProblemScaler) PredictDetail(chars map[string]float64) (float64, map[string]float64, error) {
+	x, counters, err := ps.assembleVector(chars)
+	if err != nil {
+		return 0, nil, err
 	}
 	// PredictVector reports a malformed vector as an error: the serving path
 	// runs through here, and one bad predict must never panic the server.
@@ -290,6 +301,82 @@ func (ps *ProblemScaler) PredictDetail(chars map[string]float64) (float64, map[s
 		return 0, nil, err
 	}
 	return t, counters, nil
+}
+
+// PredictDetailAll is PredictDetail over many queries at once, routed
+// through the forest's tree-major flat batch path (Forest.PredictAll),
+// which is bit-identical to the per-row walk for every worker count. Rows
+// fail independently: errs[i] reports row i's problem while every other
+// row still gets its prediction — the serving coalescer batches unrelated
+// requests, so one bad vector must never fail its batch-mates.
+func (ps *ProblemScaler) PredictDetailAll(rows []map[string]float64) (times []float64, counters []map[string]float64, errs []error) {
+	times = make([]float64, len(rows))
+	counters = make([]map[string]float64, len(rows))
+	errs = make([]error, len(rows))
+	xs := make([][]float64, 0, len(rows))
+	idx := make([]int, 0, len(rows))
+	for i, row := range rows {
+		x, cs, err := ps.assembleVector(row)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		counters[i] = cs
+		xs = append(xs, x)
+		idx = append(idx, i)
+	}
+	if len(xs) == 0 {
+		return times, counters, errs
+	}
+	preds, err := ps.predictAllSafe(xs)
+	if err != nil {
+		// The batch path refused (malformed vector reported as a panic):
+		// fall back to the per-row error path so each row fails or
+		// succeeds on its own.
+		for j, i := range idx {
+			times[i], errs[i] = ps.Reduced.Forest.PredictVector(xs[j])
+		}
+		return times, counters, errs
+	}
+	for j, i := range idx {
+		times[i] = preds[j]
+	}
+	return times, counters, errs
+}
+
+// predictAllSafe runs the forest batch path with its historical
+// panic-on-malformed-row semantics converted to an error.
+func (ps *ProblemScaler) predictAllSafe(xs [][]float64) (out []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("core: batch predict: %v", r)
+		}
+	}()
+	return ps.Reduced.Forest.PredictAll(xs), nil
+}
+
+// CharacteristicScales reports, per problem characteristic, the maximum
+// absolute value seen in training — the normalization scale the counter
+// models carry in the bundle. Load generators use it to sample realistic
+// synthetic query distributions from a bundle alone. Characteristics
+// without a fitted counter model (a scaler whose reduced forest kept only
+// characteristics) default to scale 1.
+func (ps *ProblemScaler) CharacteristicScales() map[string]float64 {
+	out := make(map[string]float64, len(ps.CharNames))
+	for _, n := range ps.CharNames {
+		out[n] = 1
+	}
+	// Every counter model is fitted on the same training frame over the
+	// same characteristic order, so any one of them carries the scales.
+	for _, cm := range ps.Models {
+		for i, c := range cm.chars {
+			if i < len(cm.scales) {
+				out[c] = cm.scales[i]
+			}
+		}
+		break
+	}
+	return out
 }
 
 // Evaluation compares characteristic-only predictions against measured

@@ -1,0 +1,180 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blackforest/internal/core"
+	"blackforest/internal/dataset"
+	"blackforest/internal/forest"
+	"blackforest/internal/serve"
+	"blackforest/internal/stats"
+)
+
+// trainScaler fits a small model on synthetic data (size drives the
+// counters, counters drive time) for end-to-end replay tests.
+func trainScaler(t testing.TB, seed uint64) *core.ProblemScaler {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	n := 100
+	sizes := make([]float64, n)
+	driver := make([]float64, n)
+	times := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := float64(64 * (1 + rng.Intn(64)))
+		sizes[i] = s
+		driver[i] = 3*s + rng.NormFloat64()
+		times[i] = 0.001*s + 0.002*rng.NormFloat64()
+	}
+	frame, err := dataset.FromColumns(
+		[]string{"size", "driver_counter", core.ResponseColumn},
+		[][]float64{sizes, driver, times},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Forest = forest.Config{NTrees: 40}
+	cfg.Seed = seed
+	a, err := core.Analyze(frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := core.NewProblemScaler(a, 2, core.AutoModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+// TestRunAgainstRegistry is the bfload smoke e2e: a two-model bfserve, an
+// in-process replay against each route, and a report with every request
+// delivered and sane latency quantiles.
+func TestRunAgainstRegistry(t *testing.T) {
+	dir := t.TempDir()
+	psA, psB := trainScaler(t, 3), trainScaler(t, 9)
+	if err := psA.SaveFile(filepath.Join(dir, "alpha.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := psB.SaveFile(filepath.Join(dir, "beta.json")); err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{ModelsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	for _, model := range []string{"", "beta"} {
+		rep, err := Run(context.Background(), Config{
+			BaseURL:     hs.URL,
+			Model:       model,
+			N:           200,
+			Concurrency: 8,
+			Seed:        7,
+			Chars:       DistsFromScaler(psA),
+			Client:      hs.Client(),
+		})
+		if err != nil {
+			t.Fatalf("model %q: %v", model, err)
+		}
+		if rep.Requests != 200 {
+			t.Fatalf("model %q: report counts %d requests, want 200", model, rep.Requests)
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("model %q: %d errors: %+v", model, rep.Errors, rep.StatusCount)
+		}
+		if rep.StatusCount["200"] != 200 {
+			t.Fatalf("model %q: status counts %+v", model, rep.StatusCount)
+		}
+		if rep.Throughput <= 0 {
+			t.Fatalf("model %q: throughput %v", model, rep.Throughput)
+		}
+		lat := rep.LatencyMS
+		if lat.P50 <= 0 || lat.P90 < lat.P50 || lat.P99 < lat.P90 || lat.Max < lat.P99 {
+			t.Fatalf("model %q: non-monotone latency quantiles: %+v", model, lat)
+		}
+		wantSuffix := "/v1/predict"
+		if model != "" {
+			wantSuffix = "/v1/models/beta/predict"
+		}
+		if !strings.HasSuffix(rep.URL, wantSuffix) {
+			t.Fatalf("model %q: replayed %s", model, rep.URL)
+		}
+	}
+
+	// An unknown model routes to 404s: every request errors, none deliver.
+	rep, err := Run(context.Background(), Config{
+		BaseURL: hs.URL, Model: "gamma", N: 20, Seed: 7,
+		Chars:  DistsFromScaler(psA),
+		Client: hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 20 || rep.StatusCount["404"] != 20 {
+		t.Fatalf("unknown model replay: %+v", rep)
+	}
+}
+
+// TestBodyDeterministicInSeed: request i's body is a pure function of
+// (seed, i) — worker scheduling cannot change what is offered.
+func TestBodyDeterministicInSeed(t *testing.T) {
+	cfg := &Config{Seed: 42, Chars: []CharDist{
+		{Name: "size", Min: 64, Max: 4096, Jitter: 0.05},
+		{Name: "threads", Min: 1, Max: 32},
+	}}
+	for i := 0; i < 10; i++ {
+		a, b := body(cfg, i), body(cfg, i)
+		if string(a) != string(b) {
+			t.Fatalf("request %d body not deterministic:\n%s\n%s", i, a, b)
+		}
+		if !strings.HasPrefix(string(a), `{"chars":{"size":`) {
+			t.Fatalf("request %d body malformed: %s", i, a)
+		}
+	}
+	if string(body(cfg, 0)) == string(body(cfg, 1)) {
+		t.Fatal("consecutive requests sampled identical vectors")
+	}
+	other := &Config{Seed: 43, Chars: cfg.Chars}
+	if string(body(cfg, 0)) == string(body(other, 0)) {
+		t.Fatal("different seeds sampled identical vectors")
+	}
+}
+
+// TestDistsFromScalerCoversModelInputs: derived distributions name every
+// model characteristic with positive, ordered bounds.
+func TestDistsFromScalerCoversModelInputs(t *testing.T) {
+	ps := trainScaler(t, 3)
+	dists := DistsFromScaler(ps)
+	if len(dists) != len(ps.CharNames) {
+		t.Fatalf("%d dists for %d characteristics", len(dists), len(ps.CharNames))
+	}
+	for i, d := range dists {
+		if d.Name != ps.CharNames[i] {
+			t.Fatalf("dist %d names %q, want %q", i, d.Name, ps.CharNames[i])
+		}
+		if !(d.Min > 0) || !(d.Max > d.Min) || math.IsNaN(d.Max) {
+			t.Fatalf("dist %q has bad bounds: %+v", d.Name, d)
+		}
+	}
+}
+
+// TestRunValidatesConfig: misconfiguration fails fast, before any traffic.
+func TestRunValidatesConfig(t *testing.T) {
+	cases := []Config{
+		{},                          // no URL
+		{BaseURL: "http://x"},       // no N
+		{BaseURL: "http://x", N: 1}, // no chars
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d: Run accepted %+v", i, cfg)
+		}
+	}
+}

@@ -1,16 +1,20 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"blackforest/internal/core"
 	"blackforest/internal/faults"
 )
 
@@ -207,6 +211,86 @@ func TestChaosDeadlineStopsBatchWork(t *testing.T) {
 	}
 	if settled == 0 || settled >= rows {
 		t.Fatalf("predicted %d of %d rows after timeout; deadline not propagated", settled, rows)
+	}
+}
+
+// TestChaosReloadFailureKeepsPreviousModel: a watch-loop reload whose
+// bundle read is fault-injected (truncated) must leave the previous model
+// serving — same answers, model still listed — while
+// bfserve_reload_failures_total counts the failure. Degrade, never crash.
+func TestChaosReloadFailureKeepsPreviousModel(t *testing.T) {
+	ps := testScaler(t, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "only.json")
+	if err := ps.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// The loader reads faithfully once (initial load), then through a
+	// truncating injector: every subsequent reload fails mid-read the way
+	// a half-written bundle or failing disk would.
+	truncating := faults.New(faults.Config{Seed: 9, TruncateReads: 1})
+	var loads atomic.Int64
+	loader := func(p string) (*core.ProblemScaler, error) {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var r io.Reader = f
+		if loads.Add(1) > 1 {
+			r = truncating.WrapReader(f, faults.HashString(p))
+		}
+		return core.LoadProblemScaler(r)
+	}
+	s, err := New(Config{ModelsDir: dir, Loader: loader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := newHTTPServer(t, s)
+	want := predictVia(t, hs.URL, "/v1/predict", 512)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reloadErrs := make(chan error, 16)
+	go s.Watch(ctx, 5*time.Millisecond, func(err error) {
+		select {
+		case reloadErrs <- err:
+		default:
+		}
+	})
+
+	// Touch the bundle so the next watch tick sees a changed signature and
+	// attempts the (now failing) reload.
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-reloadErrs:
+		if !strings.Contains(err.Error(), "unexpected EOF") {
+			t.Fatalf("reload error %q does not carry the truncation cause", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch loop never reported the failing reload")
+	}
+
+	// The previous model keeps serving identical answers.
+	if got := predictVia(t, hs.URL, "/v1/predict", 512); got != want {
+		t.Fatalf("prediction changed after failed reload: %v vs %v", got, want)
+	}
+	names, _ := s.Models()
+	if len(names) != 1 || names[0] != "only" {
+		t.Fatalf("model dropped after failed reload: %v", names)
+	}
+	text := scrapeMetrics(t, hs.URL)
+	i := strings.Index(text, "\nbfserve_reload_failures_total ")
+	if i < 0 {
+		t.Fatalf("metrics missing bfserve_reload_failures_total:\n%s", text)
+	}
+	var failures int
+	if _, err := fmt.Sscanf(text[i+1:], "bfserve_reload_failures_total %d", &failures); err != nil || failures < 1 {
+		t.Fatalf("bfserve_reload_failures_total = %d (%v), want >= 1", failures, err)
 	}
 }
 

@@ -186,17 +186,18 @@ func TestSingleflightFollowerNeverHangs(t *testing.T) {
 		}
 	}
 
+	snap := s.registry.defaultSnapshot()
 	chars := map[string]float64{"size": 448}
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, _, err := s.predictOneSafe(chars)
+		_, _, err := s.predictOneSafe(snap, chars)
 		leaderDone <- err
 	}()
 	<-entered
 	followerDone := make(chan struct{})
 	go func() {
 		defer close(followerDone)
-		s.predictOneSafe(chars)
+		s.predictOneSafe(snap, chars)
 	}()
 	time.Sleep(50 * time.Millisecond)
 	close(release)
@@ -238,7 +239,7 @@ func TestMetricsCountOnlyDeliveredPredictions(t *testing.T) {
 
 	text := scrapeMetrics(t, hs.URL)
 	for _, want := range []string{
-		"bfserve_predictions_total 0",
+		`bfserve_predictions_total{model="default"} 0`,
 		"bfserve_cache_hits_total 0",
 		"bfserve_cache_misses_total 0",
 	} {
@@ -252,7 +253,7 @@ func TestMetricsCountOnlyDeliveredPredictions(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp2.StatusCode, raw2)
 	}
-	if text := scrapeMetrics(t, hs.URL); !strings.Contains(text, "bfserve_predictions_total 1") {
+	if text := scrapeMetrics(t, hs.URL); !strings.Contains(text, `bfserve_predictions_total{model="default"} 1`) {
 		t.Fatalf("delivered prediction not counted:\n%s", text)
 	}
 }

@@ -14,8 +14,14 @@ import (
 // reports recent behavior at O(1) memory.
 const latencyWindow = 2048
 
-// metrics aggregates request counts, a sliding latency window, and cache
-// statistics, rendered in Prometheus text exposition format on /metrics.
+// batchBuckets are the upper bounds of the coalesced micro-batch size
+// histogram (a final +Inf bucket is implicit).
+var batchBuckets = [...]float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// metrics aggregates request counts, a sliding latency window, per-model
+// prediction counts, the micro-batch size histogram, reload outcomes, and
+// cache statistics, rendered in Prometheus text exposition format on
+// /metrics.
 type metrics struct {
 	mu       sync.Mutex
 	requests map[string]int64 // "path|code" → count
@@ -25,9 +31,16 @@ type metrics struct {
 	latCount  int64
 	latSum    float64
 
-	predictions int64
+	predictions map[string]int64 // model name → delivered predictions
 	cacheHits   int64
 	cacheMisses int64
+
+	batchCounts [len(batchBuckets) + 1]int64 // per-bucket (non-cumulative)
+	batchSum    int64
+	batchN      int64
+
+	reloads        int64 // models successfully (re)loaded
+	reloadFailures int64 // bundle loads that failed during a reload
 
 	shed     int64 // requests rejected by load shedding
 	injected int64 // faults injected by the chaos layer
@@ -36,8 +49,9 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:  make(map[string]int64),
-		latencies: make([]float64, 0, latencyWindow),
+		requests:    make(map[string]int64),
+		latencies:   make([]float64, 0, latencyWindow),
+		predictions: make(map[string]int64),
 	}
 }
 
@@ -57,13 +71,52 @@ func (m *metrics) observe(path string, code int, d time.Duration) {
 	m.latSum += sec
 }
 
-// addPredictions counts served predictions split by cache outcome.
-func (m *metrics) addPredictions(hits, misses int64) {
+// addPredictions counts served predictions for one model, split by cache
+// outcome.
+func (m *metrics) addPredictions(model string, hits, misses int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.predictions += hits + misses
+	m.predictions[model] += hits + misses
 	m.cacheHits += hits
 	m.cacheMisses += misses
+}
+
+// observeBatch records one drained micro-batch of n coalesced predicts.
+func (m *metrics) observeBatch(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := len(batchBuckets)
+	for i, ub := range batchBuckets {
+		if float64(n) <= ub {
+			b = i
+			break
+		}
+	}
+	m.batchCounts[b]++
+	m.batchSum += int64(n)
+	m.batchN++
+}
+
+// modelPredictions returns the delivered-prediction count for one model.
+func (m *metrics) modelPredictions(model string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.predictions[model]
+}
+
+// addReloads counts models successfully (re)loaded by a registry reload.
+func (m *metrics) addReloads(n int) {
+	m.mu.Lock()
+	m.reloads += int64(n)
+	m.mu.Unlock()
+}
+
+// addReloadFailure counts one bundle that failed to load during a reload
+// (the previous snapshot keeps serving).
+func (m *metrics) addReloadFailure() {
+	m.mu.Lock()
+	m.reloadFailures++
+	m.mu.Unlock()
 }
 
 // addShed counts one load-shed request.
@@ -96,8 +149,18 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
+// scrapeStats carries the point-in-time gauges the server computes at
+// scrape: the registered model names and the summed per-model cache
+// occupancy.
+type scrapeStats struct {
+	modelNames []string // sorted registry names; zero-valued counters are emitted for each
+	cacheSize  int
+	cacheCap   int
+}
+
 // writePrometheus renders the metrics in Prometheus text format.
-func (m *metrics) writePrometheus(w io.Writer, cacheSize, cacheCap int) {
+func (m *metrics) writePrometheus(w io.Writer, st scrapeStats) {
+	cacheSize, cacheCap := st.cacheSize, st.cacheCap
 	m.mu.Lock()
 	keys := make([]string, 0, len(m.requests))
 	for k := range m.requests {
@@ -110,7 +173,29 @@ func (m *metrics) writePrometheus(w io.Writer, cacheSize, cacheCap int) {
 	}
 	window := append([]float64(nil), m.latencies...)
 	latCount, latSum := m.latCount, m.latSum
-	predictions, hits, misses := m.predictions, m.cacheHits, m.cacheMisses
+	// Every registered model gets a bfserve_predictions_total line, zero
+	// included, so counters exist from the first scrape; models that were
+	// unregistered by a reload keep their counted history.
+	nameSet := make(map[string]bool, len(m.predictions)+len(st.modelNames))
+	for name := range m.predictions {
+		nameSet[name] = true
+	}
+	for _, name := range st.modelNames {
+		nameSet[name] = true
+	}
+	models := make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		models = append(models, name)
+	}
+	sort.Strings(models)
+	perModel := make([]int64, len(models))
+	for i, name := range models {
+		perModel[i] = m.predictions[name]
+	}
+	hits, misses := m.cacheHits, m.cacheMisses
+	batchCounts := m.batchCounts
+	batchSum, batchN := m.batchSum, m.batchN
+	reloads, reloadFailures := m.reloads, m.reloadFailures
 	shed, injected, panics := m.shed, m.injected, m.panics
 	m.mu.Unlock()
 
@@ -133,9 +218,34 @@ func (m *metrics) writePrometheus(w io.Writer, cacheSize, cacheCap int) {
 	fmt.Fprintf(w, "bfserve_request_duration_seconds_sum %g\n", latSum)
 	fmt.Fprintf(w, "bfserve_request_duration_seconds_count %d\n", latCount)
 
-	fmt.Fprintln(w, "# HELP bfserve_predictions_total Characteristic vectors predicted (cache hits included).")
+	fmt.Fprintln(w, "# HELP bfserve_predictions_total Characteristic vectors predicted per model (cache hits included).")
 	fmt.Fprintln(w, "# TYPE bfserve_predictions_total counter")
-	fmt.Fprintf(w, "bfserve_predictions_total %d\n", predictions)
+	for i, name := range models {
+		fmt.Fprintf(w, "bfserve_predictions_total{model=%q} %d\n", name, perModel[i])
+	}
+
+	fmt.Fprintln(w, "# HELP bfserve_batch_size Coalesced micro-batch sizes at drain.")
+	fmt.Fprintln(w, "# TYPE bfserve_batch_size histogram")
+	var cum int64
+	for i, ub := range batchBuckets {
+		cum += batchCounts[i]
+		fmt.Fprintf(w, "bfserve_batch_size_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += batchCounts[len(batchBuckets)]
+	fmt.Fprintf(w, "bfserve_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "bfserve_batch_size_sum %d\n", batchSum)
+	fmt.Fprintf(w, "bfserve_batch_size_count %d\n", batchN)
+
+	fmt.Fprintln(w, "# HELP bfserve_reloads_total Models successfully (re)loaded by the registry.")
+	fmt.Fprintln(w, "# TYPE bfserve_reloads_total counter")
+	fmt.Fprintf(w, "bfserve_reloads_total %d\n", reloads)
+	fmt.Fprintln(w, "# HELP bfserve_reload_failures_total Bundle loads that failed during a reload (previous model kept serving).")
+	fmt.Fprintln(w, "# TYPE bfserve_reload_failures_total counter")
+	fmt.Fprintf(w, "bfserve_reload_failures_total %d\n", reloadFailures)
+
+	fmt.Fprintln(w, "# HELP bfserve_models Models currently registered.")
+	fmt.Fprintln(w, "# TYPE bfserve_models gauge")
+	fmt.Fprintf(w, "bfserve_models %d\n", len(st.modelNames))
 
 	fmt.Fprintln(w, "# HELP bfserve_cache_hits_total Prediction cache hits.")
 	fmt.Fprintln(w, "# TYPE bfserve_cache_hits_total counter")

@@ -1,0 +1,441 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blackforest/internal/core"
+)
+
+// saveBundle trains nothing new: it writes an already-fitted scaler to path
+// the way cmd/blackforest -save does.
+func saveBundle(t *testing.T, ps *core.ProblemScaler, path string) {
+	t.Helper()
+	if err := ps.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// predictVia posts a single-vector predict to route and returns the
+// response time_ms (asserting 200).
+func predictVia(t *testing.T, baseURL, route string, size float64) float64 {
+	t.Helper()
+	resp, err := http.Post(baseURL+route, "application/json",
+		strings.NewReader(fmt.Sprintf(`{"chars":{"size":%g}}`, size)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", route, resp.StatusCode)
+	}
+	if len(pr.Predictions) != 1 {
+		t.Fatalf("%s: %d predictions", route, len(pr.Predictions))
+	}
+	return pr.Predictions[0].TimeMS
+}
+
+// TestRegistryRoutesByName: a directory of two bundles serves both models
+// concurrently, routed by name; the legacy routes answer from the default
+// (lexicographically first without a manifest); unknown names are 404s.
+func TestRegistryRoutesByName(t *testing.T) {
+	psA, psB := testScaler(t, 3), testScaler(t, 9)
+	dir := t.TempDir()
+	saveBundle(t, psA, filepath.Join(dir, "alpha.json"))
+	saveBundle(t, psB, filepath.Join(dir, "beta.json"))
+
+	s, err := New(Config{ModelsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := newHTTPServer(t, s)
+
+	wantA, _, err := psA.PredictDetail(map[string]float64{"size": 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, _, err := psB.PredictDetail(map[string]float64{"size": 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantA == wantB {
+		t.Fatal("fixture models predict identically; routing test is vacuous")
+	}
+
+	cases := []struct {
+		route string
+		want  float64
+	}{
+		{"/v1/models/alpha/predict", wantA},
+		{"/v1/models/beta/predict", wantB},
+		{"/v1/predict", wantA}, // legacy route → default = lexicographic first
+	}
+	for _, c := range cases {
+		if got := predictVia(t, hs.URL, c.route, 512); got != c.want {
+			t.Errorf("%s: got %v want %v", c.route, got, c.want)
+		}
+	}
+
+	// Unknown model names answer 404 with a JSON error, on both routes.
+	for _, route := range []string{"/v1/models/gamma/predict", "/v1/models/gamma"} {
+		var resp *http.Response
+		var err error
+		if strings.HasSuffix(route, "/predict") {
+			resp, err = http.Post(hs.URL+route, "application/json",
+				strings.NewReader(`{"chars":{"size":64}}`))
+		} else {
+			resp, err = http.Get(hs.URL + route)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errorResponse
+		derr := json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", route, resp.StatusCode)
+		}
+		if derr != nil || !strings.Contains(e.Error, `unknown model "gamma"`) {
+			t.Fatalf("%s: error body %+v, %v", route, e, derr)
+		}
+	}
+
+	// GET /v1/models lists both with identity and stats.
+	resp, err := http.Get(hs.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list ModelsResponse
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Default != "alpha" || len(list.Models) != 2 {
+		t.Fatalf("models listing: default %q, %d models", list.Default, len(list.Models))
+	}
+	for i, want := range []string{"alpha", "beta"} {
+		m := list.Models[i]
+		if m.Name != want || m.Version != 1 || m.Engine == "" || m.NumTrees == 0 {
+			t.Fatalf("model %d listing: %+v", i, m)
+		}
+		if m.Default != (want == "alpha") {
+			t.Fatalf("model %s default flag: %+v", want, m)
+		}
+	}
+
+	// /v1/models/{name} serves the per-model report.
+	resp, err = http.Get(hs.URL + "/v1/models/beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ModelReport
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model.Name != "beta" || rep.Model.ModelVersion != 1 {
+		t.Fatalf("per-model report identity: %+v", rep.Model)
+	}
+}
+
+// newHTTPServer wraps an already-built Server in an httptest server.
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// TestManifestElectsDefault: manifest.json names the models, elects the
+// default, and Config.DefaultModel overrides the manifest.
+func TestManifestElectsDefault(t *testing.T) {
+	psA, psB := testScaler(t, 3), testScaler(t, 9)
+	dir := t.TempDir()
+	saveBundle(t, psA, filepath.Join(dir, "a.json"))
+	saveBundle(t, psB, filepath.Join(dir, "b.json"))
+	manifest := `{"default":"beta","models":[
+		{"name":"alpha","path":"a.json"},
+		{"name":"beta","path":"b.json"}]}`
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wantB, _, err := psB.PredictDetail(map[string]float64{"size": 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{ModelsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := newHTTPServer(t, s)
+	if got := predictVia(t, hs.URL, "/v1/predict", 256); got != wantB {
+		t.Fatalf("manifest default not honored: got %v want %v (beta)", got, wantB)
+	}
+	names, def := s.Models()
+	if def != "beta" || len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("Models() = %v, %q", names, def)
+	}
+
+	// Explicit override beats the manifest election.
+	wantA, _, err := psA.PredictDetail(map[string]float64{"size": 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{ModelsDir: dir, DefaultModel: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := newHTTPServer(t, s2)
+	if got := predictVia(t, hs2.URL, "/v1/predict", 256); got != wantA {
+		t.Fatalf("DefaultModel override not honored: got %v want %v (alpha)", got, wantA)
+	}
+}
+
+// TestDecodeManifestRejectsHostileInput: every malformed manifest must fail
+// with a descriptive error, never panic or silently load.
+func TestDecodeManifestRejectsHostileInput(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the error
+	}{
+		{"empty", ``, "invalid manifest"},
+		{"not json", `nope`, "invalid manifest"},
+		{"no models", `{"models":[]}`, "no models"},
+		{"unknown field", `{"modles":[{"name":"a","path":"a.json"}]}`, "invalid manifest"},
+		{"trailing data", `{"models":[{"name":"a","path":"a.json"}]} x`, "trailing data"},
+		{"unnamed model", `{"models":[{"name":"","path":"a.json"}]}`, "no name"},
+		{"separator in name", `{"models":[{"name":"a/b","path":"a.json"}]}`, "path separator"},
+		{"duplicate name", `{"models":[{"name":"a","path":"a.json"},{"name":"a","path":"b.json"}]}`, "twice"},
+		{"missing path", `{"models":[{"name":"a","path":""}]}`, "no path"},
+		{"absolute path", `{"models":[{"name":"a","path":"/etc/passwd"}]}`, "absolute"},
+		{"escaping path", `{"models":[{"name":"a","path":"../../secrets.json"}]}`, "escapes"},
+		{"unlisted default", `{"default":"b","models":[{"name":"a","path":"a.json"}]}`, "not a listed model"},
+	}
+	for _, c := range cases {
+		m, err := DecodeManifest(strings.NewReader(c.body))
+		if err == nil {
+			t.Errorf("%s: decoded %+v, want error", c.name, m)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+
+	// A well-formed manifest decodes.
+	m, err := DecodeManifest(strings.NewReader(
+		`{"default":"a","models":[{"name":"a","path":"sub/a.json"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Default != "a" || len(m.Models) != 1 || m.Models[0].Path != "sub/a.json" {
+		t.Fatalf("decoded %+v", m)
+	}
+}
+
+// TestHotReloadSwapsAtomically is the reload acceptance test: while one
+// request is held in flight on the old model, the bundle file is replaced
+// and Reload swaps the registry. The in-flight request must answer from the
+// model it started on; the next request must answer from the new one, with
+// a bumped version and an empty (invalidated) cache.
+func TestHotReloadSwapsAtomically(t *testing.T) {
+	psOld, psNew := testScaler(t, 3), testScaler(t, 9)
+	path := filepath.Join(t.TempDir(), "model.json")
+	saveBundle(t, psOld, path)
+
+	s, err := New(Config{ModelPath: path, CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookPredict = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	hs := newHTTPServer(t, s)
+
+	wantOld, _, err := psOld.PredictDetail(map[string]float64{"size": 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNew, _, err := psNew.PredictDetail(map[string]float64{"size": 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantOld == wantNew {
+		t.Fatal("fixture models predict identically; swap test is vacuous")
+	}
+
+	// Hold one request in flight on the current (old) snapshot.
+	type result struct {
+		time float64
+		err  error
+	}
+	inFlight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(hs.URL+"/v1/predict", "application/json",
+			strings.NewReader(`{"chars":{"size":512}}`))
+		if err != nil {
+			inFlight <- result{err: err}
+			return
+		}
+		var pr PredictResponse
+		err = json.NewDecoder(resp.Body).Decode(&pr)
+		resp.Body.Close()
+		if err != nil || len(pr.Predictions) != 1 {
+			inFlight <- result{err: fmt.Errorf("bad response: %v %+v", err, pr)}
+			return
+		}
+		inFlight <- result{time: pr.Predictions[0].TimeMS}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the predictor")
+	}
+
+	// Replace the bundle on disk and force a distinct change signature
+	// (mtime granularity on some filesystems is a full second).
+	saveBundle(t, psNew, path)
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	changed, errs := s.Reload()
+	if len(errs) > 0 {
+		t.Fatalf("reload errors: %v", errs)
+	}
+	if changed != 1 {
+		t.Fatalf("reload changed %d models, want 1", changed)
+	}
+
+	// The held request finishes on the old snapshot.
+	close(release)
+	select {
+	case r := <-inFlight:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.time != wantOld {
+			t.Fatalf("in-flight request answered %v, want old model's %v", r.time, wantOld)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+
+	// A fresh request answers from the new model; the swap invalidated the
+	// cache, so this is a recomputation, not a stale hit.
+	if got := predictVia(t, hs.URL, "/v1/predict", 512); got != wantNew {
+		t.Fatalf("post-reload request answered %v, want new model's %v", got, wantNew)
+	}
+	resp, err := http.Get(hs.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list ModelsResponse
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Models) != 1 || list.Models[0].Version != 2 {
+		t.Fatalf("post-reload listing: %+v", list.Models)
+	}
+	text := scrapeMetrics(t, hs.URL)
+	if !strings.Contains(text, "bfserve_reloads_total 2") { // initial load + swap
+		t.Fatalf("metrics missing bfserve_reloads_total 2:\n%s", text)
+	}
+}
+
+// TestReloadUnchangedKeepsSnapshotAndCache: a reload that finds identical
+// (path, mtime, size) signatures must swap nothing — the snapshot survives,
+// cache included, so idle watch ticks are free.
+func TestReloadUnchangedKeepsSnapshotAndCache(t *testing.T) {
+	ps := testScaler(t, 3)
+	dir := t.TempDir()
+	saveBundle(t, ps, filepath.Join(dir, "only.json"))
+	s, err := New(Config{ModelsDir: dir, CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := newHTTPServer(t, s)
+
+	first := predictVia(t, hs.URL, "/v1/predict", 640) // miss, fills cache
+	changed, errs := s.Reload()
+	if changed != 0 || len(errs) != 0 {
+		t.Fatalf("no-op reload: changed %d, errs %v", changed, errs)
+	}
+	second := predictVia(t, hs.URL, "/v1/predict", 640)
+	if first != second {
+		t.Fatalf("prediction changed across no-op reload: %v vs %v", first, second)
+	}
+	text := scrapeMetrics(t, hs.URL)
+	if !strings.Contains(text, "bfserve_cache_hits_total 1") {
+		t.Fatalf("cache did not survive a no-op reload:\n%s", text)
+	}
+}
+
+// FuzzDecodeManifest: arbitrary bytes must never panic the manifest
+// decoder, and anything it accepts must satisfy the documented invariants.
+func FuzzDecodeManifest(f *testing.F) {
+	f.Add([]byte(`{"default":"a","models":[{"name":"a","path":"a.json"}]}`))
+	f.Add([]byte(`{"models":[{"name":"a","path":"a.json"},{"name":"b","path":"sub/b.json"}]}`))
+	f.Add([]byte(`{"models":[{"name":"a","path":"../escape.json"}]}`))
+	f.Add([]byte(`{"models":[{"name":"a/b","path":"a.json"}]}`))
+	f.Add([]byte(`{"models":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(m.Models) == 0 {
+			t.Fatal("decoder accepted a manifest with no models")
+		}
+		seen := make(map[string]bool)
+		for _, e := range m.Models {
+			if e.Name == "" || e.Path == "" {
+				t.Fatalf("decoder accepted empty name/path: %+v", e)
+			}
+			if seen[e.Name] {
+				t.Fatalf("decoder accepted duplicate name %q", e.Name)
+			}
+			seen[e.Name] = true
+			if strings.ContainsAny(e.Name, "/\\") {
+				t.Fatalf("decoder accepted name with separator: %q", e.Name)
+			}
+			if filepath.IsAbs(e.Path) {
+				t.Fatalf("decoder accepted absolute path %q", e.Path)
+			}
+			clean := filepath.Clean(e.Path)
+			if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+				t.Fatalf("decoder accepted escaping path %q", e.Path)
+			}
+		}
+		if m.Default != "" && !seen[m.Default] {
+			t.Fatalf("decoder accepted unlisted default %q", m.Default)
+		}
+	})
+}

@@ -281,7 +281,7 @@ func TestCacheHitReturnsSameBytes(t *testing.T) {
 		"bfserve_cache_hits_total 1",
 		"bfserve_cache_misses_total 1",
 		"bfserve_cache_hit_rate 0.5",
-		"bfserve_predictions_total 2",
+		`bfserve_predictions_total{model="default"} 2`,
 		`bfserve_requests_total{path="/v1/predict",code="200"} 2`,
 	} {
 		if !strings.Contains(text, want) {
@@ -294,7 +294,7 @@ func TestCacheHitReturnsSameBytes(t *testing.T) {
 func TestCacheDisabled(t *testing.T) {
 	ps := testScaler(t, 3)
 	s, hs := newTestServer(t, ps, Config{CacheSize: -1})
-	if s.cache != nil {
+	if s.registry.defaultSnapshot().cache != nil {
 		t.Fatal("cache not disabled")
 	}
 	resp, raw := postPredict(t, hs.URL, `{"chars":{"size":256}}`)

@@ -31,10 +31,36 @@ import (
 	"blackforest/internal/faults"
 )
 
-// Config configures the prediction server.
+// DefaultModelName is the registry name of the model behind the legacy
+// single-model routes when no manifest or override elects one.
+const DefaultModelName = "default"
+
+// Config configures the prediction server. Exactly one model source is
+// required: Scaler (in-memory), ModelPath (one bundle file, reloadable), or
+// ModelsDir (a directory of bundles, optionally with a manifest.json).
 type Config struct {
-	// Scaler is the loaded prediction model (required).
+	// Scaler is an in-memory prediction model, registered as the default
+	// model. It cannot be hot-reloaded.
 	Scaler *core.ProblemScaler
+	// ModelPath is a single bundle file, registered as the default model
+	// and reloadable in place (SIGHUP / watch loop).
+	ModelPath string
+	// ModelsDir is a directory of model bundles: every *.json file, named
+	// by its base name, or the models listed in its manifest.json.
+	ModelsDir string
+	// DefaultModel optionally names the model behind the legacy
+	// single-model routes, overriding the manifest's election and the
+	// lexicographic fallback.
+	DefaultModel string
+	// Loader reads one bundle file (nil = core.LoadProblemScalerFile);
+	// cmd/bfserve substitutes a fault-injecting reader for chaos testing.
+	Loader func(path string) (*core.ProblemScaler, error)
+	// BatchWindow enables micro-batch coalescing of single predicts: a
+	// queued request waits at most this long for batch-mates before the
+	// batch drains through the tree-major flat path (0 = coalescing off).
+	BatchWindow time.Duration
+	// BatchMaxSize caps a coalesced micro-batch (0 = 32).
+	BatchMaxSize int
 	// CacheSize bounds the LRU prediction cache in entries
 	// (0 = default 1024, negative = caching disabled).
 	CacheSize int
@@ -59,27 +85,25 @@ type Config struct {
 	Faults *faults.Injector
 }
 
-// Server is the HTTP prediction service.
+// Server is the HTTP prediction service over a model registry.
 type Server struct {
-	scaler  *core.ProblemScaler
-	cache   *lruCache
-	cacheN  int
-	workers int
-	timeout time.Duration
-	grace   time.Duration
-	maxRows int
-	maxBody int64
-	metrics *metrics
+	registry *Registry
+	cacheN   int
+	workers  int
+	timeout  time.Duration
+	grace    time.Duration
+	maxRows  int
+	maxBody  int64
+	metrics  *metrics
+
+	// batchWindow/batchMax configure micro-batch coalescing of single
+	// predicts; window 0 disables it.
+	batchWindow time.Duration
+	batchMax    int
 
 	// inflight is the load-shedding semaphore for /v1/predict; nil
 	// disables shedding.
 	inflight chan struct{}
-	// flight coalesces concurrent identical predictions (singleflight): one
-	// goroutine computes per distinct vector key, the rest wait for its
-	// result — without it, N concurrent identical cold vectors would all
-	// recompute before the first cache put (a cache-miss stampede).
-	flightMu sync.Mutex
-	flight   map[string]*flightCall
 	// faults injects serve-side chaos (nil = off); reqID numbers predict
 	// requests so injection decisions are per-request deterministic.
 	faults *faults.Injector
@@ -90,10 +114,17 @@ type Server struct {
 	testHookPredict func()
 }
 
-// New validates the configuration and builds a server.
+// New validates the configuration, builds a server, and performs the
+// initial model load.
 func New(cfg Config) (*Server, error) {
-	if cfg.Scaler == nil {
-		return nil, errors.New("serve: Config.Scaler is required")
+	nsrc := 0
+	for _, set := range []bool{cfg.Scaler != nil, cfg.ModelPath != "", cfg.ModelsDir != ""} {
+		if set {
+			nsrc++
+		}
+	}
+	if nsrc != 1 {
+		return nil, errors.New("serve: exactly one of Config.Scaler, Config.ModelPath, Config.ModelsDir is required")
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 1024
@@ -116,27 +147,88 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight == 0 {
 		cfg.MaxInFlight = 256
 	}
+	if cfg.BatchMaxSize <= 0 {
+		cfg.BatchMaxSize = 32
+	}
 	cacheCap := cfg.CacheSize
 	if cacheCap < 0 {
 		cacheCap = 0
 	}
 	s := &Server{
-		scaler:  cfg.Scaler,
-		cache:   newLRUCache(cacheCap),
-		cacheN:  cacheCap,
-		workers: cfg.Workers,
-		timeout: cfg.RequestTimeout,
-		grace:   cfg.ShutdownGrace,
-		maxRows: cfg.MaxBatch,
-		maxBody: cfg.MaxBodyBytes,
-		metrics: newMetrics(),
-		faults:  cfg.Faults,
-		flight:  make(map[string]*flightCall),
+		cacheN:      cacheCap,
+		workers:     cfg.Workers,
+		timeout:     cfg.RequestTimeout,
+		grace:       cfg.ShutdownGrace,
+		maxRows:     cfg.MaxBatch,
+		maxBody:     cfg.MaxBodyBytes,
+		metrics:     newMetrics(),
+		batchWindow: cfg.BatchWindow,
+		batchMax:    cfg.BatchMaxSize,
+		faults:      cfg.Faults,
 	}
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
+
+	reg := newRegistry(cacheCap, s.metrics)
+	reg.override = cfg.DefaultModel
+	if cfg.Loader != nil {
+		reg.loader = cfg.Loader
+	}
+	if s.batchWindow > 0 {
+		reg.onLoad = func(snap *modelSnapshot) {
+			snap.coal = newCoalescer(s.batchWindow, s.batchMax, func(reqs []*coalesceReq) {
+				s.drainBatch(snap, reqs)
+			})
+		}
+	}
+	s.registry = reg
+
+	defaultName := cfg.DefaultModel
+	if defaultName == "" {
+		defaultName = DefaultModelName
+	}
+	switch {
+	case cfg.Scaler != nil:
+		reg.loadStatic(defaultName, cfg.Scaler)
+	case cfg.ModelPath != "":
+		path := cfg.ModelPath
+		reg.scan = func() ([]modelSource, string, error) {
+			src, err := statSource(defaultName, path)
+			if err != nil {
+				return nil, "", err
+			}
+			return []modelSource{src}, "", nil
+		}
+	default:
+		dir := cfg.ModelsDir
+		reg.scan = func() ([]modelSource, string, error) { return scanDir(dir) }
+	}
+	if reg.scan != nil {
+		if _, errs := reg.Reload(); len(reg.view.Load().models) == 0 {
+			return nil, fmt.Errorf("serve: initial model load: %w", errors.Join(errs...))
+		}
+	}
 	return s, nil
+}
+
+// Reload rescans the model sources and swaps changed bundles in atomically.
+// See Registry.Reload.
+func (s *Server) Reload() (changed int, errs []error) { return s.registry.Reload() }
+
+// Watch runs the mtime-polling hot-reload loop until ctx is done.
+func (s *Server) Watch(ctx context.Context, interval time.Duration, onError func(error)) {
+	s.registry.Watch(ctx, interval, onError)
+}
+
+// Models returns the registered model names, sorted, plus the default name.
+func (s *Server) Models() ([]string, string) {
+	snaps, def := s.registry.list()
+	names := make([]string, len(snaps))
+	for i, snap := range snaps {
+		names[i] = snap.name
+	}
+	return names, def
 }
 
 // PredictRequest is the body of POST /v1/predict: exactly one of Chars
@@ -155,6 +247,10 @@ type Prediction struct {
 
 // ModelInfo is the compact model identity attached to every prediction.
 type ModelInfo struct {
+	// Name is the registry name the model is routed by; ModelVersion
+	// bumps every time a reload swaps this name to a fresh bundle.
+	Name          string   `json:"name"`
+	ModelVersion  int      `json:"model_version"`
 	BundleVersion int      `json:"bundle_version"`
 	Response      string   `json:"response"`
 	CharNames     []string `json:"char_names"`
@@ -210,14 +306,17 @@ func DecodePredictRequest(r io.Reader, maxBatch int) (*PredictRequest, error) {
 	return &req, nil
 }
 
-// modelInfo builds the compact identity block.
-func (s *Server) modelInfo() ModelInfo {
+// modelInfo builds the compact identity block for one snapshot.
+func (s *Server) modelInfo(snap *modelSnapshot) ModelInfo {
+	meta := snap.scaler.Meta()
 	return ModelInfo{
-		BundleVersion: core.BundleVersion,
-		Response:      s.scaler.Response(),
-		CharNames:     s.scaler.CharNames,
-		TestR2:        s.scaler.Reduced.TestR2,
-		Engine:        s.scaler.Reduced.Forest.Engine(),
+		Name:          snap.name,
+		ModelVersion:  snap.version,
+		BundleVersion: meta.Version,
+		Response:      meta.Response,
+		CharNames:     meta.CharNames,
+		TestR2:        meta.TestR2,
+		Engine:        meta.Engine,
 	}
 }
 
@@ -231,43 +330,44 @@ type flightCall struct {
 
 // computeOne runs the model for one characteristic vector, no cache, no
 // coalescing.
-func (s *Server) computeOne(chars map[string]float64) (Prediction, error) {
+func (s *Server) computeOne(snap *modelSnapshot, chars map[string]float64) (Prediction, error) {
 	if s.testHookPredict != nil {
 		s.testHookPredict()
 	}
-	t, counters, err := s.scaler.PredictDetail(chars)
+	t, counters, err := snap.scaler.PredictDetail(chars)
 	if err != nil {
 		return Prediction{}, err
 	}
 	return Prediction{TimeMS: t, Counters: counters}, nil
 }
 
-// predictOne answers one characteristic vector, consulting the cache and
-// coalescing concurrent identical computations (singleflight keyed on the
-// canonical vector key). It returns the prediction and whether it was served
-// without computing (cache hit or coalesced onto another request's result).
-func (s *Server) predictOne(chars map[string]float64) (Prediction, bool, error) {
-	key, keyed := vectorKey(s.scaler.CharNames, chars)
+// predictOne answers one characteristic vector on one model snapshot,
+// consulting the snapshot's cache and coalescing concurrent identical
+// computations (singleflight keyed on the canonical vector key). It returns
+// the prediction and whether it was served without computing (cache hit or
+// coalesced onto another request's result).
+func (s *Server) predictOne(snap *modelSnapshot, chars map[string]float64) (Prediction, bool, error) {
+	key, keyed := vectorKey(snap.scaler.CharNames, chars)
 	if !keyed {
 		// Vector misses model characteristics: uncacheable, and the model
 		// will report the precise missing name.
-		p, err := s.computeOne(chars)
+		p, err := s.computeOne(snap, chars)
 		return p, false, err
 	}
-	if s.cache != nil {
-		if p, ok := s.cache.get(key); ok {
+	if snap.cache != nil {
+		if p, ok := snap.cache.get(key); ok {
 			return p, true, nil
 		}
 	}
-	s.flightMu.Lock()
-	if c, ok := s.flight[key]; ok {
-		s.flightMu.Unlock()
+	snap.flightMu.Lock()
+	if c, ok := snap.flight[key]; ok {
+		snap.flightMu.Unlock()
 		<-c.done
 		return c.p, true, c.err
 	}
 	c := &flightCall{done: make(chan struct{})}
-	s.flight[key] = c
-	s.flightMu.Unlock()
+	snap.flight[key] = c
+	snap.flightMu.Unlock()
 	completed := false
 	defer func() {
 		if !completed {
@@ -276,16 +376,16 @@ func (s *Server) predictOne(chars map[string]float64) (Prediction, bool, error) 
 			// recover middleware / batch-worker recovery.
 			c.err = errors.New("prediction panicked")
 		}
-		s.flightMu.Lock()
-		delete(s.flight, key)
-		s.flightMu.Unlock()
+		snap.flightMu.Lock()
+		delete(snap.flight, key)
+		snap.flightMu.Unlock()
 		close(c.done)
 	}()
-	p, err := s.computeOne(chars)
+	p, err := s.computeOne(snap, chars)
 	c.p, c.err = p, err
 	completed = true
-	if err == nil && s.cache != nil {
-		s.cache.put(key, p)
+	if err == nil && snap.cache != nil {
+		snap.cache.put(key, p)
 	}
 	return p, false, err
 }
@@ -293,13 +393,76 @@ func (s *Server) predictOne(chars map[string]float64) (Prediction, bool, error) 
 // predictOneSafe is predictOne with panics converted to a *panicError, for
 // batch workers: a panic inside a worker goroutine would bypass the HTTP
 // recover middleware and kill the whole process.
-func (s *Server) predictOneSafe(chars map[string]float64) (p Prediction, hit bool, err error) {
+func (s *Server) predictOneSafe(snap *modelSnapshot, chars map[string]float64) (p Prediction, hit bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &panicError{v: r}
 		}
 	}()
-	return s.predictOne(chars)
+	return s.predictOne(snap, chars)
+}
+
+// predictCoalesced answers one single-vector predict through the snapshot's
+// micro-batch coalescer: cache first, then enqueue and wait for the batch
+// drain. The drained result is bit-identical to a solo predictOne — the
+// flat batch path accumulates tree contributions in the same order — so
+// coalescing is invisible in the response bytes.
+func (s *Server) predictCoalesced(ctx context.Context, snap *modelSnapshot, chars map[string]float64) (Prediction, bool, error) {
+	key, keyed := vectorKey(snap.scaler.CharNames, chars)
+	if keyed && snap.cache != nil {
+		if p, ok := snap.cache.get(key); ok {
+			return p, true, nil
+		}
+	}
+	req := &coalesceReq{chars: chars, key: key, keyed: keyed, done: make(chan struct{})}
+	snap.coal.enqueue(req)
+	select {
+	case <-req.done:
+		return req.p, false, req.err
+	case <-ctx.Done():
+		// The request's deadline fired while queued; the batch still
+		// drains and warms the cache, but this caller stops waiting.
+		return Prediction{}, false, ctx.Err()
+	}
+}
+
+// drainBatch computes one coalesced micro-batch through the tree-major flat
+// batch path and completes every queued request. Rows fail independently;
+// a panic anywhere fails the whole batch with an error (never a crash —
+// this runs on the coalescer's timer goroutine, outside any HTTP frame).
+func (s *Server) drainBatch(snap *modelSnapshot, reqs []*coalesceReq) {
+	completed := false
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.addPanic()
+			for _, rq := range reqs {
+				if !completed {
+					rq.err = &panicError{v: r}
+					close(rq.done)
+				}
+			}
+		}
+	}()
+	rows := make([]map[string]float64, len(reqs))
+	for i, rq := range reqs {
+		rows[i] = rq.chars
+	}
+	times, counters, errs := snap.scaler.PredictDetailAll(rows)
+	s.metrics.observeBatch(len(reqs))
+	for i, rq := range reqs {
+		if errs[i] != nil {
+			rq.err = errs[i]
+		} else {
+			rq.p = Prediction{TimeMS: times[i], Counters: counters[i]}
+			if rq.keyed && snap.cache != nil {
+				snap.cache.put(rq.key, rq.p)
+			}
+		}
+	}
+	completed = true
+	for _, rq := range reqs {
+		close(rq.done)
+	}
 }
 
 // panicError marks a prediction that panicked; handlePredict maps it to 500.
@@ -317,7 +480,7 @@ func (e *panicError) Error() string { return fmt.Sprintf("prediction panicked: %
 // out, is canceled, or fails on any row returns nothing to the client, so
 // its partial hits and misses are not recorded (bfserve_predictions_total is
 // a counter of answers served, not of internal model evaluations).
-func (s *Server) predictRows(ctx context.Context, rows []map[string]float64) ([]Prediction, error) {
+func (s *Server) predictRows(ctx context.Context, snap *modelSnapshot, rows []map[string]float64) ([]Prediction, error) {
 	out := make([]Prediction, len(rows))
 	errs := make([]error, len(rows))
 	var hits, misses int64
@@ -331,7 +494,7 @@ func (s *Server) predictRows(ctx context.Context, rows []map[string]float64) ([]
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			p, hit, err := s.predictOne(row)
+			p, hit, err := s.predictOne(snap, row)
 			out[i], errs[i] = p, err
 			if err == nil {
 				if hit {
@@ -357,7 +520,7 @@ func (s *Server) predictRows(ctx context.Context, rows []map[string]float64) ([]
 					if i >= len(rows) {
 						return
 					}
-					p, hit, err := s.predictOneSafe(rows[i])
+					p, hit, err := s.predictOneSafe(snap, rows[i])
 					out[i], errs[i] = p, err
 					if err == nil {
 						if hit {
@@ -380,14 +543,23 @@ func (s *Server) predictRows(ctx context.Context, rows []map[string]float64) ([]
 			return nil, fmt.Errorf("row %d: %w", i, err)
 		}
 	}
-	s.metrics.addPredictions(hits, misses)
+	s.metrics.addPredictions(snap.name, hits, misses)
 	return out, nil
 }
 
-// handlePredict serves POST /v1/predict.
+// handlePredict serves POST /v1/predict (default model) and
+// POST /v1/models/{name}/predict (routed by model name). The snapshot is
+// resolved once, up front: a hot reload mid-request swaps the registry, but
+// this request completes on the model it started with.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	name := r.PathValue("name")
+	snap, ok := s.registry.resolve(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown model %q", name)})
 		return
 	}
 	// Load shedding: if MaxInFlight requests are already being handled,
@@ -428,11 +600,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	rows := req.Batch
-	if req.Chars != nil {
-		rows = []map[string]float64{req.Chars}
+	var preds []Prediction
+	if req.Chars != nil && snap.coal != nil {
+		// Single predicts coalesce into micro-batches when enabled.
+		p, hit, cerr := s.predictCoalesced(r.Context(), snap, req.Chars)
+		if cerr == nil {
+			preds = []Prediction{p}
+			if hit {
+				s.metrics.addPredictions(snap.name, 1, 0)
+			} else {
+				s.metrics.addPredictions(snap.name, 0, 1)
+			}
+		} else if r.Context().Err() == nil {
+			cerr = fmt.Errorf("row 0: %w", cerr)
+		}
+		err = cerr
+	} else {
+		rows := req.Batch
+		if req.Chars != nil {
+			rows = []map[string]float64{req.Chars}
+		}
+		preds, err = s.predictRows(r.Context(), snap, rows)
 	}
-	preds, err := s.predictRows(r.Context(), rows)
 	if err != nil {
 		var pe *panicError
 		code := http.StatusBadRequest
@@ -450,7 +639,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{Model: s.modelInfo(), Predictions: preds})
+	writeJSON(w, http.StatusOK, PredictResponse{Model: s.modelInfo(snap), Predictions: preds})
 }
 
 // ImportanceEntry is one row of the model's importance table.
@@ -483,28 +672,36 @@ type ModelReport struct {
 	CounterModels []CounterModelInfo `json:"counter_models"`
 }
 
-// handleModel serves GET /v1/model.
+// handleModel serves GET /v1/model (default model) and
+// GET /v1/models/{name} (routed by model name).
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
 		return
 	}
-	red := s.scaler.Reduced
+	name := r.PathValue("name")
+	snap, ok := s.registry.resolve(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown model %q", name)})
+		return
+	}
+	scaler := snap.scaler
+	red := scaler.Reduced
 	rep := ModelReport{
-		Model:        s.modelInfo(),
+		Model:        s.modelInfo(snap),
 		Predictors:   red.Predictors,
 		NumTrees:     red.Forest.NumTrees(),
 		OOBMSE:       red.OOBMSE,
 		VarExplained: red.VarExplained,
 		TestMSE:      red.TestMSE,
 		TestR2:       red.TestR2,
-		AvgCounterR2: s.scaler.AverageCounterR2(),
+		AvgCounterR2: scaler.AverageCounterR2(),
 	}
 	for _, imp := range red.Importance {
 		rep.Importance = append(rep.Importance, ImportanceEntry(imp))
 	}
-	for _, name := range s.scaler.CounterNames() {
-		cm := s.scaler.Models[name]
+	for _, name := range scaler.CounterNames() {
+		cm := scaler.Models[name]
 		rep.CounterModels = append(rep.CounterModels, CounterModelInfo{
 			Counter:          cm.Counter,
 			Kind:             cm.Kind,
@@ -515,6 +712,64 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// ModelSummary is one row of GET /v1/models: registry identity plus the
+// bundle's validation stats and live serving counters.
+type ModelSummary struct {
+	Name          string  `json:"name"`
+	Version       int     `json:"version"`
+	Default       bool    `json:"default"`
+	Path          string  `json:"path,omitempty"`
+	LoadedUnix    int64   `json:"loaded_unix"`
+	Engine        string  `json:"engine"`
+	Response      string  `json:"response"`
+	NumTrees      int     `json:"num_trees"`
+	TestR2        float64 `json:"test_r2"`
+	CounterModels int     `json:"counter_models"`
+	Degraded      bool    `json:"degraded"`
+	CacheEntries  int     `json:"cache_entries"`
+	Predictions   int64   `json:"predictions_total"`
+}
+
+// ModelsResponse is the body answering GET /v1/models.
+type ModelsResponse struct {
+	Default string         `json:"default"`
+	Models  []ModelSummary `json:"models"`
+}
+
+// handleModels serves GET /v1/models: every registered model with its
+// name, version, engine, and stats.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	snaps, def := s.registry.list()
+	resp := ModelsResponse{Default: def, Models: make([]ModelSummary, 0, len(snaps))}
+	for _, snap := range snaps {
+		meta := snap.scaler.Meta()
+		entries := 0
+		if snap.cache != nil {
+			entries = snap.cache.size()
+		}
+		resp.Models = append(resp.Models, ModelSummary{
+			Name:          snap.name,
+			Version:       snap.version,
+			Default:       snap.name == def,
+			Path:          snap.path,
+			LoadedUnix:    snap.loaded.Unix(),
+			Engine:        meta.Engine,
+			Response:      meta.Response,
+			NumTrees:      meta.NumTrees,
+			TestR2:        meta.TestR2,
+			CounterModels: meta.Counters,
+			Degraded:      meta.Degraded,
+			CacheEntries:  entries,
+			Predictions:   s.metrics.modelPredictions(snap.name),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -523,11 +778,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	snaps, _ := s.registry.list()
 	size := 0
-	if s.cache != nil {
-		size = s.cache.size()
+	names := make([]string, len(snaps))
+	for i, snap := range snaps {
+		names[i] = snap.name
+		if snap.cache != nil {
+			size += snap.cache.size()
+		}
 	}
-	s.metrics.writePrometheus(w, size, s.cacheN)
+	s.metrics.writePrometheus(w, scrapeStats{
+		modelNames: names,
+		cacheSize:  size,
+		cacheCap:   s.cacheN * len(snaps),
+	})
 }
 
 // statusRecorder captures the response code for metrics.
@@ -572,13 +836,19 @@ func (s *Server) recovered(h http.Handler) http.Handler {
 
 // Handler returns the service's HTTP handler: the prediction endpoints are
 // instrumented, panic-recovered, and bounded by the per-request timeout.
+// The legacy single-model routes (/v1/predict, /v1/model) answer from the
+// registry's default model; /v1/models/{name}/... routes by model name.
 func (s *Server) Handler() http.Handler {
 	timeoutBody := `{"error":"request timed out"}`
 	mux := http.NewServeMux()
-	mux.Handle("/v1/predict", s.instrument("/v1/predict", s.recovered(
-		http.TimeoutHandler(http.HandlerFunc(s.handlePredict), s.timeout, timeoutBody))))
-	mux.Handle("/v1/model", s.instrument("/v1/model", s.recovered(
-		http.TimeoutHandler(http.HandlerFunc(s.handleModel), s.timeout, timeoutBody))))
+	predict := s.recovered(http.TimeoutHandler(http.HandlerFunc(s.handlePredict), s.timeout, timeoutBody))
+	model := s.recovered(http.TimeoutHandler(http.HandlerFunc(s.handleModel), s.timeout, timeoutBody))
+	mux.Handle("/v1/predict", s.instrument("/v1/predict", predict))
+	mux.Handle("/v1/model", s.instrument("/v1/model", model))
+	mux.Handle("/v1/models/{name}/predict", s.instrument("/v1/models/predict", predict))
+	mux.Handle("/v1/models/{name}", s.instrument("/v1/models/model", model))
+	mux.Handle("/v1/models", s.instrument("/v1/models", s.recovered(
+		http.TimeoutHandler(http.HandlerFunc(s.handleModels), s.timeout, timeoutBody))))
 	mux.Handle("/healthz", s.instrument("/healthz", s.recovered(http.HandlerFunc(s.handleHealthz))))
 	mux.Handle("/metrics", s.instrument("/metrics", s.recovered(http.HandlerFunc(s.handleMetrics))))
 	return mux
