@@ -5,28 +5,43 @@
 //	bfbench -exp all                 # every table and figure
 //	bfbench -exp fig5 -scale full    # one experiment at paper scale
 //	bfbench -exp fig2,fig3,fig4      # the §5 reduction analyses
+//	bfbench -exp all -cache-dir .cache -warm
 //
 // Output is the text/chart rendering of each table or figure; -csvdir
 // additionally writes the underlying series as CSV files for replotting.
+//
+// All experiments in one invocation share a run cache and a global
+// simulation worker pool: a workload run collected by several experiments
+// simulates once, and -cache-dir persists profiles across invocations so
+// a warm rerun skips simulation entirely. Cached profiles are
+// bit-identical to recomputed ones, so every rendering is unchanged.
+// -warm times a second in-process pass over the same experiments and
+// verifies its output is byte-identical to the cold pass.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"blackforest/internal/experiments"
 	"blackforest/internal/report"
+	"blackforest/internal/runcache"
 )
 
 // benchReport is the machine-readable run record written by -json: one
 // wall-clock entry per experiment, so CI can archive regeneration timings
 // (BENCH.json) next to the rendered output and track drift across commits.
+// New fields only ever extend the schema; existing consumers keep working.
 type benchReport struct {
 	GeneratedUnix int64             `json:"generated_unix"`
 	GoVersion     string            `json:"go_version"`
@@ -35,13 +50,30 @@ type benchReport struct {
 	Scale         string            `json:"scale"`
 	Seed          uint64            `json:"seed"`
 	Workers       int               `json:"workers"`
+	ExpWorkers    int               `json:"exp_workers,omitempty"`
 	Experiments   []benchExperiment `json:"experiments"`
 	TotalMS       float64           `json:"total_ms"`
+	// ColdMS/WarmMS are the totals of the two -warm passes; without
+	// -warm only TotalMS is meaningful (and ColdMS mirrors it).
+	ColdMS float64 `json:"cold_ms,omitempty"`
+	WarmMS float64 `json:"warm_ms,omitempty"`
+	// Cache snapshots the shared run cache's counters at exit; CI
+	// asserts a fully warm invocation reports zero misses.
+	Cache    *runcache.Stats `json:"cache,omitempty"`
+	CacheDir string          `json:"cache_dir,omitempty"`
 }
 
 type benchExperiment struct {
 	Name string  `json:"name"`
 	MS   float64 `json:"ms"`
+	// WarmMS is the experiment's wall time in the -warm pass.
+	WarmMS float64 `json:"warm_ms,omitempty"`
+	// AllocsPerOp/BytesPerOp are the heap allocations attributed to one
+	// execution of the experiment, sampled with runtime.MemStats. Only
+	// recorded when experiments run one at a time (-expworkers 1);
+	// concurrent experiments would attribute each other's allocations.
+	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
 }
 
 func main() {
@@ -49,8 +81,14 @@ func main() {
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvdir := flag.String("csvdir", "", "directory for CSV series output (optional)")
-	workers := flag.Int("workers", 0, "concurrent profiling runs during collection (0 = all CPUs)")
+	workers := flag.Int("workers", 0, "size of the shared simulation worker pool (0 = all CPUs)")
+	expWorkers := flag.Int("expworkers", 1, "experiments run concurrently (their profiling runs always share one pool)")
+	cacheDir := flag.String("cache-dir", "", "persist the run cache on disk in this directory (\"\" = in-memory only)")
+	cacheMem := flag.Int("cache-mem", 0, "max in-memory cache entries (0 = default)")
+	warm := flag.Bool("warm", false, "rerun all experiments against the warm cache and record cold/warm timings")
 	jsonPath := flag.String("json", "", "write per-experiment timings as JSON to this file (e.g. BENCH.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	opts := experiments.Options{Seed: *seed, Workers: *workers}
@@ -63,12 +101,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bfbench: unknown scale %q (want quick or full)\n", *scale)
 		os.Exit(2)
 	}
+	engine, err := experiments.NewEngine(experiments.EngineConfig{
+		CacheDir:      *cacheDir,
+		MaxMemEntries: *cacheMem,
+		Workers:       *workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfbench: opening run cache: %v\n", err)
+		os.Exit(1)
+	}
+	opts.Engine = engine
 
 	var names []string
 	if *exp == "all" {
 		names = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "power", "ladder", "transpose", "histogram", "predict"}
 	} else {
 		names = strings.Split(*exp, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+		defer f.Close()
 	}
 
 	rep := benchReport{
@@ -79,27 +144,133 @@ func main() {
 		Scale:         *scale,
 		Seed:          *seed,
 		Workers:       *workers,
+		ExpWorkers:    *expWorkers,
+		CacheDir:      *cacheDir,
 	}
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		start := time.Now()
-		if err := run(name, opts, *csvdir); err != nil {
-			fmt.Fprintf(os.Stderr, "bfbench: %s: %v\n", name, err)
+
+	cold, err := runPass(names, opts, *csvdir, *expWorkers, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range cold {
+		rep.Experiments = append(rep.Experiments, benchExperiment{
+			Name: r.name, MS: r.ms, AllocsPerOp: r.allocs, BytesPerOp: r.bytes,
+		})
+		rep.TotalMS += r.ms
+	}
+	rep.ColdMS = rep.TotalMS
+
+	if *warm {
+		warmRes, err := runPass(names, opts, "", *expWorkers, io.Discard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: warm pass: %v\n", err)
 			os.Exit(1)
 		}
-		elapsed := time.Since(start)
-		rep.Experiments = append(rep.Experiments, benchExperiment{
-			Name: name, MS: float64(elapsed.Microseconds()) / 1e3,
-		})
-		rep.TotalMS += float64(elapsed.Microseconds()) / 1e3
-		fmt.Printf("\n[%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
+		for i, r := range warmRes {
+			if !bytes.Equal(r.output, cold[i].output) {
+				fmt.Fprintf(os.Stderr, "bfbench: warm pass of %s rendered different output than cold pass — cache is not bit-identical\n", r.name)
+				os.Exit(1)
+			}
+			rep.Experiments[i].WarmMS = r.ms
+			rep.WarmMS += r.ms
+		}
+		fmt.Printf("[warm pass: %.0f ms vs cold %.0f ms, output byte-identical]\n", rep.WarmMS, rep.ColdMS)
 	}
+
+	stats := engine.Stats()
+	rep.Cache = &stats
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath, &rep); err != nil {
 			fmt.Fprintf(os.Stderr, "bfbench: writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)
 		}
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: writing heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// expResult is one experiment's execution record within a pass.
+type expResult struct {
+	name   string
+	output []byte
+	ms     float64
+	allocs uint64
+	bytes  uint64
+	err    error
+}
+
+// runPass executes the experiments — up to expWorkers concurrently, each
+// rendering into its own buffer — and streams the rendered output to w in
+// input order. Per-experiment allocation figures are only sampled when
+// experiments run sequentially; concurrent experiments share the heap, so
+// attribution would be noise.
+func runPass(names []string, opts experiments.Options, csvdir string, expWorkers int, w io.Writer) ([]*expResult, error) {
+	if expWorkers < 1 {
+		expWorkers = 1
+	}
+	measureAllocs := expWorkers == 1
+	sem := make(chan struct{}, expWorkers)
+	results := make([]*expResult, len(names))
+	done := make([]chan struct{}, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		done[i] = make(chan struct{})
+		results[i] = &expResult{name: name}
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			defer close(done[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := results[i]
+			var m0, m1 runtime.MemStats
+			if measureAllocs {
+				runtime.ReadMemStats(&m0)
+			}
+			var buf bytes.Buffer
+			start := time.Now()
+			r.err = run(name, opts, csvdir, &buf)
+			r.ms = float64(time.Since(start).Microseconds()) / 1e3
+			if measureAllocs {
+				runtime.ReadMemStats(&m1)
+				r.allocs = m1.Mallocs - m0.Mallocs
+				r.bytes = m1.TotalAlloc - m0.TotalAlloc
+			}
+			r.output = buf.Bytes()
+		}(i, name)
+	}
+	var firstErr error
+	for i := range names {
+		<-done[i]
+		r := results[i]
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", r.name, r.err)
+			}
+			continue
+		}
+		if firstErr == nil {
+			w.Write(r.output)
+			fmt.Fprintf(w, "\n[%s completed in %.0f ms]\n\n", r.name, r.ms)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
 }
 
 func writeBenchJSON(path string, rep *benchReport) error {
@@ -110,8 +281,7 @@ func writeBenchJSON(path string, rep *benchReport) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-func run(name string, opts experiments.Options, csvdir string) error {
-	w := os.Stdout
+func run(name string, opts experiments.Options, csvdir string, w io.Writer) error {
 	switch name {
 	case "table1":
 		return experiments.RenderTable1(w)

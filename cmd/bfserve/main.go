@@ -31,6 +31,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +56,7 @@ func main() {
 	batchMax := flag.Int("batch-max", 32, "max coalesced micro-batch size")
 	maxInFlight := flag.Int("max-inflight", 256, "concurrent predict requests before load shedding with 503 (negative disables shedding)")
 	faultSpec := flag.String("faults", "", `fault injection spec, e.g. "seed=42,error=0.05,latency=0.1,spike=50ms,corrupt=0.01" (chaos testing; empty = off)`)
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
 	if (*model == "") == (*modelsDir == "") {
@@ -90,6 +93,24 @@ func main() {
 	}
 	if *batchWindow > 0 {
 		fmt.Printf("coalescing single predicts: window %v, max batch %d\n", *batchWindow, *batchMax)
+	}
+
+	// Profiling endpoints live on their own listener and mux, so they are
+	// never exposed on the serving address and the serving mux stays free
+	// of debug routes.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "bfserve: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof on %s (GET /debug/pprof/)\n", *pprofAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

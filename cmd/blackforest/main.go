@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	simBlocks := flag.Int("simblocks", 24, "max blocks simulated in detail per launch")
 	workers := flag.Int("workers", 0, "concurrent profiling runs during collection (0 = all CPUs)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed run cache directory: repeated collections reuse profiles bit-identically (empty = off)")
 	save := flag.String("save", "", "write the trained prediction model (forest + counter models) as a JSON bundle")
 	quantize := flag.Bool("quantize", false, "with -save: write the compact quantized bundle (flat forest encoding, bit-identical predictions, no per-node trees)")
 	load := flag.String("load", "", "load a saved model bundle instead of profiling and training")
@@ -96,7 +97,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("collecting %d runs of %s on %s...\n", len(runs), *kernel, dev.Name)
-		frame, degradation, err = core.CollectWithReport(dev, runs, core.CollectOptions{
+		copt := core.CollectOptions{
 			MaxSimBlocks:    *simBlocks,
 			Seed:            *seed,
 			Workers:         *workers,
@@ -104,9 +105,21 @@ func main() {
 			Retries:         *retries,
 			RetryBackoff:    10 * time.Millisecond,
 			MinCompleteness: *completeness,
-		})
+		}
+		if *cacheDir != "" {
+			copt.Cache, err = profiler.NewRunCache(*cacheDir, 0)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		frame, degradation, err = core.CollectWithReport(dev, runs, copt)
 		if err != nil {
 			fatal(err)
+		}
+		if copt.Cache != nil {
+			s := copt.Cache.Stats()
+			fmt.Printf("run cache %s: %d hits, %d misses (%.0f%% hit rate)\n",
+				*cacheDir, s.Hits(), s.Misses, 100*s.HitRate())
 		}
 		if degradation != nil {
 			fmt.Printf("warning: partial collection — %s\n", degradation)

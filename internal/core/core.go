@@ -24,6 +24,7 @@ import (
 	"blackforest/internal/forest"
 	"blackforest/internal/gpusim"
 	"blackforest/internal/profiler"
+	"blackforest/internal/runcache"
 )
 
 // ResponseColumn is the default response variable in collected frames.
@@ -96,6 +97,14 @@ type CollectOptions struct {
 	// below it are dropped; at or above it, missing cells are
 	// mean-imputed.
 	MinCompleteness float64
+	// Cache optionally memoizes profiled runs content-addressed by their
+	// identity (see profiler.RunKey). Hits are bit-identical to
+	// recomputes; identical in-flight runs coalesce. Nil disables.
+	Cache *runcache.Cache[*profiler.Profile]
+	// Gate optionally shares one simulation worker pool across
+	// concurrent collections (overrides Workers when set), so a suite of
+	// experiments drains through one global scheduler.
+	Gate profiler.Gate
 }
 
 // Collect profiles every workload run on the device and assembles the
@@ -125,6 +134,8 @@ func CollectWithReport(dev *gpusim.Device, runs []profiler.Workload, opt Collect
 		Faults:       opt.Faults,
 		Retries:      opt.Retries,
 		RetryBackoff: opt.RetryBackoff,
+		Cache:        opt.Cache,
+		Gate:         opt.Gate,
 	})
 	profiles, err := p.RunAll(runs, opt.Workers)
 	if err != nil {

@@ -23,7 +23,9 @@ func CollectPair(
 	devA *gpusim.Device, runsA []profiler.Workload, optA CollectOptions,
 	devB *gpusim.Device, runsB []profiler.Workload, optB CollectOptions,
 ) (*dataset.Frame, *dataset.Frame, error) {
-	if optA.Workers <= 0 && optB.Workers <= 0 {
+	// With a shared gate, the global pool already bounds simulation work
+	// across both sides; splitting the CPU budget would only starve it.
+	if optA.Gate == nil && optB.Gate == nil && optA.Workers <= 0 && optB.Workers <= 0 {
 		half := runtime.NumCPU() / 2
 		if half < 1 {
 			half = 1

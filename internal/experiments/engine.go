@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"blackforest/internal/profiler"
+	"blackforest/internal/runcache"
+)
+
+// Engine is the shared scheduling state for a suite of experiments: one
+// content-addressed run cache and one global simulation worker pool.
+// Handing the same Engine to every experiment in a bfbench invocation
+// (via Options.Engine) changes how profiles are produced, never what
+// they are:
+//
+//   - identical runs appearing in several experiments (e.g. the matmul
+//     sweep collected by fig5, fig7, and the power extension) simulate
+//     once and hit the cache everywhere else;
+//   - identical runs requested concurrently coalesce into one in-flight
+//     simulation;
+//   - all experiments' remaining simulations drain through one worker
+//     pool, so concurrent experiments saturate the machine instead of
+//     each rationing its own CPU share.
+//
+// Every profile served from the engine is bit-identical to what a
+// standalone, sequential collection would produce (see profiler.RunKey
+// for why the memoization is sound).
+type Engine struct {
+	cache *runcache.Cache[*profiler.Profile]
+	gate  profiler.Gate
+}
+
+// EngineConfig configures a shared experiment engine.
+type EngineConfig struct {
+	// CacheDir persists profiles on disk, surviving the process; ""
+	// keeps the cache memory-only (still deduplicates within the run).
+	CacheDir string
+	// MaxMemEntries bounds the in-memory cache layer
+	// (0 = runcache.DefaultMaxMemEntries).
+	MaxMemEntries int
+	// Workers is the size of the global simulation pool
+	// (0 = runtime.NumCPU()).
+	Workers int
+}
+
+// NewEngine builds the shared cache and worker pool.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	cache, err := profiler.NewRunCache(cfg.CacheDir, cfg.MaxMemEntries)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cache: cache, gate: profiler.NewGate(cfg.Workers)}, nil
+}
+
+// Stats returns a snapshot of the engine's cache counters.
+func (e *Engine) Stats() runcache.Stats { return e.cache.Stats() }
+
+// CacheDir returns the disk cache directory ("" when memory-only).
+func (e *Engine) CacheDir() string { return e.cache.Dir() }

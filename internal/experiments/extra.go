@@ -42,7 +42,12 @@ func RunReductionLadder(o Options) (*ReductionLadder, error) {
 	if o.Scale == Quick {
 		n = 1 << 18
 	}
-	p := profiler.New(dev, profiler.Options{MaxSimBlocks: o.maxSimBlocks(), NoiseSigma: -1})
+	popt := profiler.Options{MaxSimBlocks: o.maxSimBlocks(), NoiseSigma: -1}
+	if o.Engine != nil {
+		popt.Cache = o.Engine.cache
+		popt.Gate = o.Engine.gate
+	}
+	p := profiler.New(dev, popt)
 	out := &ReductionLadder{Device: dev.Name, N: n}
 	for v := 0; v <= 6; v++ {
 		prof, err := p.Run(&kernels.Reduction{Variant: v, N: n, BlockSize: 256, Seed: o.Seed})

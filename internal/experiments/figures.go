@@ -27,12 +27,18 @@ func (o Options) pipelineConfig() core.Config {
 }
 
 // collectOptions assembles the data-collection options for an experiment.
+// With an Engine, collections share its run cache and worker pool.
 func (o Options) collectOptions() core.CollectOptions {
-	return core.CollectOptions{
+	copt := core.CollectOptions{
 		MaxSimBlocks: o.maxSimBlocks(),
 		Seed:         o.Seed,
 		Workers:      o.Workers,
 	}
+	if o.Engine != nil {
+		copt.Cache = o.Engine.cache
+		copt.Gate = o.Engine.gate
+	}
+	return copt
 }
 
 // ReductionAnalysis is the result of a §5 bottleneck analysis (Figures

@@ -49,6 +49,11 @@ type Block struct {
 	roundDone chan struct{}
 	spawned   bool
 	spawnFrom int
+	// warpPool holds finished goroutine-backed warps (with their resume
+	// channels) for reuse by later blocks run on the same workspace. Warps
+	// only enter the pool after their goroutine is done with them, and the
+	// token hand-off orders every pool access, so no lock is needed.
+	warpPool []*Warp
 
 	// segScratch is reused by the coalescer to avoid per-instruction
 	// allocation (a warp access touches at most 64 segments).
@@ -63,6 +68,35 @@ type Block struct {
 
 // KernelFunc is the body of a kernel, invoked once per warp.
 type KernelFunc func(w *Warp)
+
+// reset prepares a pooled block workspace for its next simulated block.
+// Identity and wiring are replaced; kernel-visible state is restored to
+// exactly what a fresh Block would present — numeric scratch slices are
+// zeroed in place (BlockState create functions build zeroed slices, so a
+// cleared one is indistinguishable), anything else is dropped and rebuilt
+// on first use. Scheduler scratch (ring backing, pooled warps and their
+// channels, the bank detector) carries over: it is overwritten before
+// every read, so reuse cannot change a single counter.
+func (b *Block) reset(cfg LaunchConfig, idxX, idxY int, counters *Counters, l1, l2 *cache) {
+	b.cfg = cfg
+	b.idxX, b.idxY = idxX, idxY
+	b.counters = counters
+	b.l1, b.l2 = l1, l2
+	for i, v := range b.state {
+		switch t := v.(type) {
+		case []float32:
+			clear(t)
+		case []int32:
+			clear(t)
+		case []uint32:
+			clear(t)
+		case []float64:
+			clear(t)
+		default:
+			b.state[i] = nil
+		}
+	}
+}
 
 // run executes the kernel for every warp of the block. It returns an error
 // if any warp panicked (kernel bugs surface as errors, not hangs).
@@ -82,7 +116,7 @@ func (b *Block) run(kernel KernelFunc) error {
 	n := b.cfg.WarpsPerBlock()
 	b.kernel = kernel
 	b.panics = nil
-	b.ring = nil
+	b.ring = b.ring[:0]
 	b.spawned = false
 
 	for i := 0; i < n; i++ {
@@ -131,25 +165,40 @@ func (b *Block) recordPanic(i int, r any) {
 func (b *Block) spawn() {
 	n := b.cfg.WarpsPerBlock()
 	b.spawned = true
-	b.roundDone = make(chan struct{})
+	if b.roundDone == nil {
+		b.roundDone = make(chan struct{})
+	}
 	for j := b.spawnFrom; j < n; j++ {
-		w := &Warp{blk: b, id: j, resume: make(chan struct{})}
+		w := b.takeWarp(j)
 		b.ring = append(b.ring, w)
 		go func(w *Warp) {
 			defer func() {
 				if r := recover(); r != nil {
 					b.recordPanic(w.id, r)
 				}
-				// The warp is finished: drop it from the ring and pass
-				// the token on, even after a panic, so the scheduler
-				// never deadlocks.
+				// The warp is finished: drop it from the ring, return it
+				// to the pool, and pass the token on, even after a panic,
+				// so the scheduler never deadlocks.
 				b.ring = append(b.ring[:b.cursor], b.ring[b.cursor+1:]...)
+				b.warpPool = append(b.warpPool, w)
 				b.passToken()
 			}()
 			<-w.resume
 			b.kernel(w)
 		}(w)
 	}
+}
+
+// takeWarp reuses a pooled goroutine-warp shell (keeping its resume
+// channel, which is known empty once the warp is pooled) or builds one.
+func (b *Block) takeWarp(id int) *Warp {
+	if k := len(b.warpPool); k > 0 {
+		w := b.warpPool[k-1]
+		b.warpPool = b.warpPool[:k-1]
+		w.id = id
+		return w
+	}
+	return &Warp{blk: b, id: id, resume: make(chan struct{})}
 }
 
 // runRound runs one barrier-to-barrier segment of every live ring warp, in

@@ -5,6 +5,13 @@ import (
 	"math"
 )
 
+// ModelVersion names the simulator's modeling semantics. It salts every
+// content-addressed run-cache key, so any change to how counters are
+// accounted, time is modeled, or energy is derived MUST bump it —
+// otherwise profiles cached by an older binary would be served as if the
+// new model had produced them.
+const ModelVersion = "gpusim-v1"
+
 // LaunchOptions tunes a simulated kernel launch.
 type LaunchOptions struct {
 	// MaxSimBlocks caps the number of thread blocks executed in detail;
@@ -47,6 +54,12 @@ type Simulator struct {
 	dev *Device
 	l2  *cache
 	l1s []*cache // one L1 per SM slot, reused by blocks assigned to it
+	// blk is the reusable block workspace: one Block whose scratch state
+	// (shared-memory slices, warp shells, ring backing) survives across
+	// blocks and launches instead of being reallocated per block. reset
+	// restores everything a kernel can observe, so pooling is invisible
+	// to counters. A Simulator is single-goroutine, as before.
+	blk Block
 }
 
 // NewSimulator builds a simulator for the device.
@@ -84,17 +97,10 @@ func (s *Simulator) Launch(cfg LaunchConfig, kernel KernelFunc, opts LaunchOptio
 	simBlocks := pickBlocks(total, opts.MaxSimBlocks)
 
 	var counters Counters
+	s.blk.dev = s.dev
 	for _, bi := range simBlocks {
-		blk := &Block{
-			dev:      s.dev,
-			cfg:      cfg,
-			idxX:     bi % cfg.GridDimX,
-			idxY:     bi / cfg.GridDimX,
-			counters: &counters,
-			l1:       s.l1s[bi%len(s.l1s)],
-			l2:       s.l2,
-		}
-		if err := blk.run(kernel); err != nil {
+		s.blk.reset(cfg, bi%cfg.GridDimX, bi/cfg.GridDimX, &counters, s.l1s[bi%len(s.l1s)], s.l2)
+		if err := s.blk.run(kernel); err != nil {
 			return nil, err
 		}
 	}

@@ -368,15 +368,28 @@ func (w *Warp) BlockState(slot Slot, create func() any) any {
 }
 
 // SharedF32 returns a per-block float32 scratchpad of at least n elements
-// stored in slot — the functional view of a __shared__ float array.
+// stored in slot — the functional view of a __shared__ float array. A
+// pooled slice from an earlier block is reused (zeroed) when it is big
+// enough and replaced when it is not.
 func (w *Warp) SharedF32(slot Slot, n int) []float32 {
-	return w.BlockState(slot, func() any { return make([]float32, n) }).([]float32)
+	v := w.BlockState(slot, func() any { return make([]float32, n) }).([]float32)
+	if len(v) < n {
+		v = make([]float32, n)
+		w.blk.state[slot] = v
+	}
+	return v
 }
 
 // SharedI32 returns a per-block int32 scratchpad of at least n elements —
-// the functional view of a __shared__ int array.
+// the functional view of a __shared__ int array, with the same reuse rule
+// as SharedF32.
 func (w *Warp) SharedI32(slot Slot, n int) []int32 {
-	return w.BlockState(slot, func() any { return make([]int32, n) }).([]int32)
+	v := w.BlockState(slot, func() any { return make([]int32, n) }).([]int32)
+	if len(v) < n {
+		v = make([]int32, n)
+		w.blk.state[slot] = v
+	}
+	return v
 }
 
 // Sync executes a block-wide barrier (__syncthreads()). Every live warp of

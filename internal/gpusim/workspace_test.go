@@ -1,0 +1,222 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+// poolProbeSlots exercise every pooled state shape: float32 shared
+// memory, int32 shared memory, a raw []uint32 slot (the histogram
+// privatization pattern), and an unrecognized type that must be rebuilt.
+var (
+	poolF32Slot  = NewSlot()
+	poolI32Slot  = NewSlot()
+	poolU32Slot  = NewSlot()
+	poolMiscSlot = NewSlot()
+)
+
+// poolProbeKernel writes into every state kind, syncs (so warp
+// goroutines and the ring get exercised), and checks each array was
+// zero/fresh at block start — the exact contract a real kernel relies on.
+func poolProbeKernel(t *testing.T) KernelFunc {
+	t.Helper()
+	return func(w *Warp) {
+		f := w.SharedF32(poolF32Slot, 64)
+		i := w.SharedI32(poolI32Slot, 32)
+		u := w.BlockState(poolU32Slot, func() any { return make([]uint32, 16) }).([]uint32)
+		m := w.BlockState(poolMiscSlot, func() any { return map[int]int{} }).(map[int]int)
+		if w.WarpID() == 0 {
+			if f[0] != 0 || i[0] != 0 || u[0] != 0 || len(m) != 0 {
+				t.Errorf("block (%d,%d): state not fresh: f=%v i=%v u=%v m=%v",
+					w.blk.idxX, w.blk.idxY, f[0], i[0], u[0], m)
+			}
+		}
+		w.Sync()
+		bx, _ := w.BlockIdx()
+		f[0] = float32(bx + 1)
+		i[0] = int32(bx + 1)
+		u[0] = uint32(bx + 1)
+		m[bx] = bx
+		var addrs [WarpSize]uint64
+		for l := 0; l < WarpSize; l++ {
+			addrs[l] = uint64(w.LinearTID(l)) * 4
+		}
+		w.GlobalLoad(FullMask(), &addrs, 4)
+		w.FloatOps(FullMask(), 3)
+		w.Sync()
+	}
+}
+
+// TestWorkspacePoolingBitIdentical runs the same launch on a simulator
+// whose workspace has already served other launches and on a pristine
+// one: every counter, the modeled time, and the energy must agree to the
+// last bit. This is the pooling contract — reuse may only change
+// allocation counts, never results.
+func TestWorkspacePoolingBitIdentical(t *testing.T) {
+	d, _ := LookupDevice("GTX580")
+	cfg := LaunchConfig{GridDimX: 6, GridDimY: 1, BlockDimX: 128, BlockDimY: 1, RegsPerThread: 16, SharedMemPerBlock: 1024}
+	kernel := poolProbeKernel(t)
+
+	warmed := NewSimulator(d)
+	// Dirty the workspace: a bigger launch (larger shared arrays, more
+	// warps) followed by a cache reset, so the second launch starts from
+	// the same cache state as a fresh simulator but a well-used workspace.
+	big := LaunchConfig{GridDimX: 3, GridDimY: 1, BlockDimX: 256, BlockDimY: 1, RegsPerThread: 16, SharedMemPerBlock: 2048}
+	if _, err := warmed.Launch(big, kernel, LaunchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	warmed.ResetCaches()
+	got, err := warmed.Launch(cfg, kernel, LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := NewSimulator(d).Launch(cfg, kernel, LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Counters != want.Counters {
+		t.Fatalf("counters diverge:\n pooled %+v\n fresh  %+v", got.Counters, want.Counters)
+	}
+	for _, pair := range [][2]float64{
+		{got.Cycles, want.Cycles},
+		{got.TimeMS, want.TimeMS},
+		{got.EnergyMJ, want.EnergyMJ},
+		{got.AvgPowerW, want.AvgPowerW},
+	} {
+		if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+			t.Fatalf("model outputs diverge: %x vs %x",
+				math.Float64bits(pair[0]), math.Float64bits(pair[1]))
+		}
+	}
+	if got.Bottleneck != want.Bottleneck {
+		t.Fatalf("bottleneck %q vs %q", got.Bottleneck, want.Bottleneck)
+	}
+}
+
+// TestWorkspaceShrinkingLaunch covers the downsize path: a launch whose
+// shared arrays are smaller than the pooled ones must still see zeroed
+// state of sufficient length, and a growing one must get a bigger array.
+func TestWorkspaceShrinkingLaunch(t *testing.T) {
+	d, _ := LookupDevice("GTX580")
+	sim := NewSimulator(d)
+	slot := NewSlot()
+	for _, bdim := range []int{256, 64, 512} {
+		cfg := LaunchConfig{GridDimX: 2, GridDimY: 1, BlockDimX: bdim, BlockDimY: 1, RegsPerThread: 8, SharedMemPerBlock: 256}
+		want := bdim
+		_, err := sim.Launch(cfg, func(w *Warp) {
+			s := w.SharedF32(slot, want)
+			if len(s) < want {
+				t.Errorf("bdim %d: shared array len %d < %d", want, len(s), want)
+			}
+			if w.WarpID() == 0 {
+				if s[0] != 0 || s[want-1] != 0 {
+					t.Errorf("bdim %d: shared array not zeroed", want)
+				}
+				s[0], s[want-1] = 1, 1
+			}
+		}, LaunchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPickBlocksEdgeCases(t *testing.T) {
+	cases := []struct {
+		total, maxSim int
+		want          []int
+	}{
+		{total: 10, maxSim: 1, want: []int{0}},
+		{total: 4, maxSim: 4, want: []int{0, 1, 2, 3}},
+		{total: 4, maxSim: 9, want: []int{0, 1, 2, 3}},
+		{total: 4, maxSim: 0, want: []int{0, 1, 2, 3}},
+		{total: 4, maxSim: -1, want: []int{0, 1, 2, 3}},
+		{total: 1, maxSim: 1, want: []int{0}},
+		{total: 7, maxSim: 3, want: []int{0, 2, 4}},
+		{total: 100, maxSim: 3, want: []int{0, 33, 66}},
+	}
+	for _, c := range cases {
+		got := pickBlocks(c.total, c.maxSim)
+		if len(got) != len(c.want) {
+			t.Errorf("pickBlocks(%d,%d) = %v, want %v", c.total, c.maxSim, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("pickBlocks(%d,%d) = %v, want %v", c.total, c.maxSim, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestPickBlocksSampleInvariants: for every (total, maxSim) the sample is
+// strictly increasing, in range, starts at block 0, and has exactly
+// min(total, maxSim) entries — the properties counter scaling relies on.
+func TestPickBlocksSampleInvariants(t *testing.T) {
+	for total := 1; total <= 40; total++ {
+		for maxSim := 1; maxSim <= 40; maxSim++ {
+			got := pickBlocks(total, maxSim)
+			wantLen := maxSim
+			if wantLen > total {
+				wantLen = total
+			}
+			if len(got) != wantLen {
+				t.Fatalf("pickBlocks(%d,%d): %d blocks, want %d", total, maxSim, len(got), wantLen)
+			}
+			if got[0] != 0 {
+				t.Fatalf("pickBlocks(%d,%d): first block %d, want 0", total, maxSim, got[0])
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] || got[i] >= total {
+					t.Fatalf("pickBlocks(%d,%d): bad sample %v", total, maxSim, got)
+				}
+			}
+		}
+	}
+}
+
+func TestCountersScaleRounding(t *testing.T) {
+	// Scale rounds each count to nearest (half away from zero): the
+	// extrapolated totals must be integers without systematic downward
+	// bias from truncation.
+	c := Counters{InstExecuted: 3, InstIssued: 1, ThreadInstExecuted: 2, DRAMReadBytes: 7}
+	c.Scale(1.5)
+	if c.InstExecuted != 5 { // 4.5 rounds up
+		t.Errorf("InstExecuted = %d, want 5", c.InstExecuted)
+	}
+	if c.InstIssued != 2 { // 1.5 rounds up
+		t.Errorf("InstIssued = %d, want 2", c.InstIssued)
+	}
+	if c.ThreadInstExecuted != 3 {
+		t.Errorf("ThreadInstExecuted = %d, want 3", c.ThreadInstExecuted)
+	}
+	if c.DRAMReadBytes != 11 { // 10.5 rounds up
+		t.Errorf("DRAMReadBytes = %d, want 11", c.DRAMReadBytes)
+	}
+
+	// Scaling by exactly 1 is the identity.
+	d := Counters{InstExecuted: 41, SharedLoad: 13, SyncCount: 9}
+	e := d
+	e.Scale(1)
+	if d != e {
+		t.Errorf("Scale(1) changed counters: %+v vs %+v", d, e)
+	}
+
+	// The launch-path ratio total/simulated reconstructs whole-grid
+	// counts exactly when per-block counts are uniform.
+	f := Counters{GldRequest: 12, L2ReadTransactions: 48} // 3 blocks' worth
+	f.Scale(float64(7) / float64(3))                      // extrapolate to 7
+	if f.GldRequest != 28 || f.L2ReadTransactions != 112 {
+		t.Errorf("uniform extrapolation: %+v, want 28/112", f)
+	}
+
+	// Zero counts stay zero for any factor.
+	var z Counters
+	z.Scale(123.456)
+	if z != (Counters{}) {
+		t.Errorf("Scale left zero counters nonzero: %+v", z)
+	}
+}

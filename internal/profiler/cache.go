@@ -1,0 +1,86 @@
+package profiler
+
+import (
+	"encoding/json"
+	"runtime"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/runcache"
+)
+
+// profileCacheVersion salts every run key with the profiler's own result
+// semantics. Bump it whenever the Profile schema or the way metrics are
+// derived changes, so stale cache entries from older binaries can never
+// be mistaken for current results. (Simulator-model changes are covered
+// separately by gpusim.ModelVersion.)
+const profileCacheVersion = "profile-v1"
+
+// NewRunCache builds a content-addressed cache of profiles, keyed by
+// RunKey and serialized as JSON (Go's float64 JSON encoding is
+// shortest-exact, so disk round trips are bit-identical). dir "" keeps
+// the cache memory-only; maxMem bounds the in-memory LRU layer
+// (0 = runcache.DefaultMaxMemEntries).
+func NewRunCache(dir string, maxMem int) (*runcache.Cache[*Profile], error) {
+	return runcache.New(runcache.Config{Dir: dir, MaxMemEntries: maxMem},
+		func(p *Profile) ([]byte, error) { return json.Marshal(p) },
+		func(b []byte) (*Profile, error) {
+			var p Profile
+			if err := json.Unmarshal(b, &p); err != nil {
+				return nil, err
+			}
+			return &p, nil
+		})
+}
+
+// RunKey derives the content address of one profiled run: a SHA-256 over
+// everything the resulting Profile is a pure function of — the simulator
+// and profiler version salts, the device model, every profiling option
+// that shapes the result (simulated-block cap, noise level, noise seed,
+// fault profile, retry budget), and the workload identity (name, sorted
+// characteristics, input seed). Two runs share a key if and only if they
+// are guaranteed to produce bit-identical profiles, so a cache hit can
+// substitute for a simulation anywhere — across experiments, processes,
+// and machines.
+func (p *Profiler) RunKey(w Workload) runcache.Key {
+	h := runcache.NewHasher()
+	h.String("blackforest/run")
+	h.String(gpusim.ModelVersion)
+	h.String(profileCacheVersion)
+	h.String(p.dev.Name)
+	h.Int(p.opt.MaxSimBlocks)
+	h.Float64(p.opt.NoiseSigma)
+	h.Uint64(p.opt.Seed)
+	h.Int(p.opt.Retries)
+	h.String(p.opt.Faults.Config().String())
+	h.String(w.Name())
+	chars := w.Characteristics()
+	for _, k := range sortedKeys(chars) {
+		h.String(k)
+		h.Float64(chars[k])
+	}
+	if s, ok := w.(InputSeeded); ok {
+		h.Uint64(1) // presence marker: seeded and unseeded never collide
+		h.Uint64(s.InputSeed())
+	}
+	return h.Sum()
+}
+
+// Gate is a shared worker-pool semaphore: every profiling run acquires a
+// slot for the duration of its simulation. Handing the same Gate to
+// several concurrent collections drains all their runs through one
+// global pool — the machine stays saturated across experiments instead
+// of each collection rationing its own workers. Cache lookups and
+// coalesced waits do not hold a slot; only real simulation work does.
+type Gate chan struct{}
+
+// NewGate builds a gate admitting n concurrent runs (n <= 0 selects
+// runtime.NumCPU()).
+func NewGate(n int) Gate {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	return make(Gate, n)
+}
+
+func (g Gate) enter() { g <- struct{}{} }
+func (g Gate) leave() { <-g }

@@ -24,6 +24,7 @@ import (
 	"blackforest/internal/counters"
 	"blackforest/internal/faults"
 	"blackforest/internal/gpusim"
+	"blackforest/internal/runcache"
 	"blackforest/internal/stats"
 )
 
@@ -82,6 +83,18 @@ type Options struct {
 	// RetryBackoff is the base delay between attempts; attempt k sleeps
 	// RetryBackoff << k. Zero retries immediately.
 	RetryBackoff time.Duration
+	// Cache optionally memoizes completed runs, content-addressed by
+	// RunKey. A hit is bit-identical to a recompute; concurrent requests
+	// for the same run share one simulation. Cached profiles are shared
+	// between callers and must be treated as immutable. Nil disables
+	// caching (bit-identical to historic behavior — trivially, since a
+	// cold cache computes exactly what no cache computes).
+	Cache *runcache.Cache[*Profile]
+	// Gate optionally shares one simulation worker pool across
+	// collections: when set, RunAll draws slots from it instead of
+	// building a per-call pool, so concurrent sweeps (or whole experiment
+	// suites) saturate the machine together without oversubscribing it.
+	Gate Gate
 }
 
 // Profile is the result of profiling one workload run: the paper's unit of
@@ -176,12 +189,23 @@ func (p *Profiler) noiseSeed(w Workload) uint64 {
 	return stats.SplitMix64(identityHash(w) ^ stats.SplitMix64(p.opt.Seed^0x70726f66))
 }
 
-// Run profiles one workload run end to end. With fault injection
-// configured, a run that the injector fails reports an error wrapping
-// faults.ErrInjected; Run is always "attempt 0" (RunAll drives later
-// attempts).
+// Run profiles one workload run end to end, consulting Options.Cache
+// when one is configured and drawing a slot from Options.Gate (if set)
+// for the simulation itself. With fault injection configured, a run that
+// the injector fails reports an error wrapping faults.ErrInjected; Run
+// is always "attempt 0" (RunAll drives later attempts).
 func (p *Profiler) Run(w Workload) (*Profile, error) {
-	return p.run(w, 0)
+	compute := func() (*Profile, error) {
+		if g := p.opt.Gate; g != nil {
+			g.enter()
+			defer g.leave()
+		}
+		return p.run(w, 0)
+	}
+	if p.opt.Cache == nil {
+		return compute()
+	}
+	return p.opt.Cache.Do(p.RunKey(w), compute)
 }
 
 func (p *Profiler) run(w Workload, attempt int) (*Profile, error) {
@@ -279,24 +303,31 @@ func averagePower(energyMJ, modelTimeMS float64) float64 {
 // in input order wins. A failed run is retried up to Options.Retries
 // times with exponential backoff (each attempt re-plans the workload, so
 // released buffers are rebuilt) before its error is reported.
+//
+// When Options.Gate is set, workers is ignored and runs draw slots from
+// the shared gate instead, so concurrent collections are scheduled
+// globally. When Options.Cache is set, each run first consults the
+// cache; only actual simulations occupy a pool slot, and identical
+// in-flight runs (within or across collections) coalesce into one.
 func (p *Profiler) RunAll(runs []Workload, workers int) ([]*Profile, error) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(runs) {
-		workers = len(runs)
+	gate := p.opt.Gate
+	if gate == nil {
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		if workers > len(runs) {
+			workers = len(runs)
+		}
+		gate = NewGate(workers)
 	}
 	profiles := make([]*Profile, len(runs))
 	errs := make([]error, len(runs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
 	for i, w := range runs {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, w Workload) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			profiles[i], errs[i] = p.runWithRetry(w)
+			profiles[i], errs[i] = p.runGated(w, gate)
 		}(i, w)
 	}
 	wg.Wait()
@@ -306,6 +337,22 @@ func (p *Profiler) RunAll(runs []Workload, workers int) ([]*Profile, error) {
 		}
 	}
 	return profiles, nil
+}
+
+// runGated is one scheduled run: a cache hit (or a coalesced wait on an
+// identical in-flight run) returns without ever taking a pool slot; a
+// real simulation holds one slot for its duration.
+func (p *Profiler) runGated(w Workload, gate Gate) (*Profile, error) {
+	if p.opt.Cache == nil {
+		gate.enter()
+		defer gate.leave()
+		return p.runWithRetry(w)
+	}
+	return p.opt.Cache.Do(p.RunKey(w), func() (*Profile, error) {
+		gate.enter()
+		defer gate.leave()
+		return p.runWithRetry(w)
+	})
 }
 
 // runWithRetry drives one workload through up to 1+Retries attempts.

@@ -1,0 +1,177 @@
+package runcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"blackforest/internal/faults"
+)
+
+// damage rewrites every cache entry in dir through a fault-injected
+// reader (byte corruption or truncation per the config), simulating the
+// disk rotting underneath the cache.
+func damage(t *testing.T, dir string, cfg faults.Config) int {
+	t.Helper()
+	in := faults.New(cfg)
+	if in == nil {
+		t.Fatal("fault config injects nothing")
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.bfrc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := 0
+	for _, path := range entries {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := in.WrapReader(bytes.NewReader(raw), faults.HashString(path))
+		bad, err := io.ReadAll(r)
+		if err != nil && err != io.ErrUnexpectedEOF {
+			t.Fatal(err)
+		}
+		if err == io.ErrUnexpectedEOF && bytes.Equal(bad, raw) {
+			// The injected cut offset fell beyond this small entry; apply
+			// the truncation modulo the entry size so it is still visible.
+			bad = bad[:len(bad)*2/5]
+		}
+		if cfg.CorruptReads > 0 && bytes.Equal(bad, raw) {
+			// The injected flip offset (drawn per 4KiB chunk) fell beyond
+			// this small entry; land it inside, keyed on the same identity.
+			bad[faults.HashString(path)%uint64(len(bad))] ^= 0xff
+		}
+		if bytes.Equal(bad, raw) {
+			continue
+		}
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+	}
+	return damaged
+}
+
+// TestChaosCorruptedEntriesRecomputedAndRepaired is the cache's core
+// safety property: a damaged disk entry is never served — the run is
+// recomputed bit-identically and the entry rewritten intact.
+func TestChaosCorruptedEntriesRecomputedAndRepaired(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  faults.Config
+	}{
+		{"corrupt", faults.Config{Seed: 7, CorruptReads: 1}},
+		{"truncate", faults.Config{Seed: 11, TruncateReads: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c := newTestCache(t, Config{Dir: dir})
+			var computes atomic.Int64
+			compute := func(name string, v float64) func() (*payload, error) {
+				return func() (*payload, error) {
+					computes.Add(1)
+					return &payload{Name: name, Time: v, Metrics: map[string]float64{"m": v / 3}}, nil
+				}
+			}
+			keys := make([]Key, 5)
+			want := make([]*payload, 5)
+			for i := range keys {
+				keys[i] = NewHasher().String("chaos").Int(i).Sum()
+				v, err := c.Do(keys[i], compute("chaos", float64(i)+0.1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = v
+			}
+			if n := computes.Load(); n != 5 {
+				t.Fatalf("computed %d, want 5", n)
+			}
+			if damage(t, dir, tc.cfg) == 0 {
+				t.Fatal("damage pass changed nothing")
+			}
+
+			// A fresh cache over the rotten directory must recompute every
+			// damaged entry — and the recompute must be bit-identical.
+			c2 := newTestCache(t, Config{Dir: dir})
+			for i, k := range keys {
+				v, err := c2.Do(k, compute("chaos", float64(i)+0.1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(v.Time) != math.Float64bits(want[i].Time) ||
+					math.Float64bits(v.Metrics["m"]) != math.Float64bits(want[i].Metrics["m"]) {
+					t.Fatalf("entry %d: recompute not bit-identical", i)
+				}
+			}
+			s := c2.Stats()
+			if s.BadEntries == 0 {
+				t.Fatalf("stats = %+v, want discarded bad entries", s)
+			}
+
+			// The damaged entries were repaired: a third cache sees only
+			// clean disk hits, no recomputes.
+			before := computes.Load()
+			c3 := newTestCache(t, Config{Dir: dir})
+			for i, k := range keys {
+				v, err := c3.Do(k, compute("chaos", float64(i)+0.1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(v.Time) != math.Float64bits(want[i].Time) {
+					t.Fatalf("entry %d: repaired entry not bit-identical", i)
+				}
+			}
+			if computes.Load() != before {
+				t.Fatal("repaired entries should all be disk hits")
+			}
+			if s := c3.Stats(); s.DiskHits != 5 || s.BadEntries != 0 {
+				t.Fatalf("stats = %+v, want 5 clean disk hits", s)
+			}
+		})
+	}
+}
+
+// TestChaosGarbageFiles feeds the reader formats it must reject outright.
+func TestChaosGarbageFiles(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(t, Config{Dir: dir})
+	k := NewHasher().String("garbage").Sum()
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     []byte("BFRC1"),
+		"bad-magic": append([]byte("XXXX1\x00\x00\x00"), make([]byte, 64)...),
+		"bad-json":  entryBytes(t, []byte("{not json")),
+		"wrong-len": func() []byte {
+			b := entryBytes(t, []byte(`{"name":"x"}`))
+			return b[:len(b)-2]
+		}(),
+	}
+	for name, raw := range cases {
+		if err := os.WriteFile(c.path(k), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("%s: corrupt entry served", name)
+		}
+		if _, err := os.Stat(c.path(k)); !os.IsNotExist(err) {
+			t.Fatalf("%s: corrupt entry not deleted", name)
+		}
+	}
+}
+
+// entryBytes frames a payload exactly as diskPut would.
+func entryBytes(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	buf := make([]byte, diskHeaderSize+len(payload))
+	copy(buf[:8], diskMagic[:])
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(buf[16:24], checksum(payload))
+	copy(buf[diskHeaderSize:], payload)
+	return buf
+}

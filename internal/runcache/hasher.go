@@ -1,0 +1,50 @@
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+)
+
+// Hasher folds a run identity into a Key. Every field is written with an
+// unambiguous encoding (strings are length-prefixed, numbers fixed-width
+// little-endian, floats by their IEEE 754 bits), so distinct identities
+// cannot collide by concatenation and NaN payloads or -0.0 hash
+// distinctly — the same discipline the profiler's identity hash uses,
+// upgraded to a cryptographic digest because the cache is a persistent,
+// shared namespace.
+type Hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewHasher starts a fresh key derivation.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+// String writes a length-prefixed string.
+func (h *Hasher) String(s string) *Hasher {
+	h.Uint64(uint64(len(s)))
+	h.h.Write([]byte(s))
+	return h
+}
+
+// Uint64 writes a fixed-width integer.
+func (h *Hasher) Uint64(x uint64) *Hasher {
+	binary.LittleEndian.PutUint64(h.buf[:], x)
+	h.h.Write(h.buf[:])
+	return h
+}
+
+// Int writes an int as its 64-bit two's-complement form.
+func (h *Hasher) Int(x int) *Hasher { return h.Uint64(uint64(int64(x))) }
+
+// Float64 writes a float by its IEEE 754 bit pattern.
+func (h *Hasher) Float64(f float64) *Hasher { return h.Uint64(math.Float64bits(f)) }
+
+// Sum finalizes the key. The Hasher must not be reused afterwards.
+func (h *Hasher) Sum() Key {
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}
