@@ -33,10 +33,16 @@ import (
 	"sync"
 	"time"
 
+	"blackforest/internal/buildinfo"
 	"blackforest/internal/experiments"
+	"blackforest/internal/obs"
 	"blackforest/internal/report"
 	"blackforest/internal/runcache"
 )
+
+// laneExpBase is the trace-lane offset for experiment spans: profiling
+// worker lanes are 0..workers-1, so experiment slots live far above them.
+const laneExpBase = 1000
 
 // benchReport is the machine-readable run record written by -json: one
 // wall-clock entry per experiment, so CI can archive regeneration timings
@@ -89,7 +95,19 @@ func main() {
 	jsonPath := flag.String("json", "", "write per-experiment timings as JSON to this file (e.g. BENCH.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	tracePath := flag.String("trace", "", "write the run's span tree as Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)")
+	version := flag.Bool("version", false, "print version and build info, then exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Get("bfbench").Print(os.Stdout)
+		return
+	}
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(nil)
+	}
 
 	opts := experiments.Options{Seed: *seed, Workers: *workers}
 	switch *scale {
@@ -105,6 +123,7 @@ func main() {
 		CacheDir:      *cacheDir,
 		MaxMemEntries: *cacheMem,
 		Workers:       *workers,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfbench: opening run cache: %v\n", err)
@@ -148,7 +167,7 @@ func main() {
 		CacheDir:      *cacheDir,
 	}
 
-	cold, err := runPass(names, opts, *csvdir, *expWorkers, os.Stdout)
+	cold, err := runPass(names, opts, *csvdir, *expWorkers, os.Stdout, tracer, "cold")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
 		os.Exit(1)
@@ -162,7 +181,7 @@ func main() {
 	rep.ColdMS = rep.TotalMS
 
 	if *warm {
-		warmRes, err := runPass(names, opts, "", *expWorkers, io.Discard)
+		warmRes, err := runPass(names, opts, "", *expWorkers, io.Discard, tracer, "warm")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bfbench: warm pass: %v\n", err)
 			os.Exit(1)
@@ -180,6 +199,13 @@ func main() {
 
 	stats := engine.Stats()
 	rep.Cache = &stats
+	if tracer.Enabled() {
+		if err := tracer.WriteChromeTraceFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[trace: %d events written to %s]\n", tracer.Len(), *tracePath)
+	}
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath, &rep); err != nil {
 			fmt.Fprintf(os.Stderr, "bfbench: writing %s: %v\n", *jsonPath, err)
@@ -216,12 +242,18 @@ type expResult struct {
 // input order. Per-experiment allocation figures are only sampled when
 // experiments run sequentially; concurrent experiments share the heap, so
 // attribution would be noise.
-func runPass(names []string, opts experiments.Options, csvdir string, expWorkers int, w io.Writer) ([]*expResult, error) {
+func runPass(names []string, opts experiments.Options, csvdir string, expWorkers int, w io.Writer, tracer *obs.Tracer, pass string) ([]*expResult, error) {
 	if expWorkers < 1 {
 		expWorkers = 1
 	}
 	measureAllocs := expWorkers == 1
-	sem := make(chan struct{}, expWorkers)
+	// Experiment slots carry ids so each maps to a stable trace lane,
+	// mirroring the profiler's gate.
+	sem := make(chan int, expWorkers)
+	for s := 0; s < expWorkers; s++ {
+		sem <- s
+		tracer.SetLaneName(laneExpBase+s, fmt.Sprintf("experiment-%d", s))
+	}
 	results := make([]*expResult, len(names))
 	done := make([]chan struct{}, len(names))
 	var wg sync.WaitGroup
@@ -232,8 +264,10 @@ func runPass(names []string, opts experiments.Options, csvdir string, expWorkers
 		go func(i int, name string) {
 			defer wg.Done()
 			defer close(done[i])
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			slot := <-sem
+			defer func() { sem <- slot }()
+			sp := tracer.Begin(laneExpBase+slot, "exp "+name).Arg("pass", pass)
+			defer sp.End()
 			r := results[i]
 			var m0, m1 runtime.MemStats
 			if measureAllocs {

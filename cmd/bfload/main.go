@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"blackforest/internal/buildinfo"
 	"blackforest/internal/core"
 	"blackforest/internal/loadgen"
 )
@@ -43,7 +44,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed for the synthetic request sequence")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	jsonOut := flag.String("json", "", "write the JSON report to this file (default stdout)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Get("bfload").Print(os.Stdout)
+		return
+	}
 
 	var dists []loadgen.CharDist
 	var err error

@@ -31,6 +31,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -38,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"blackforest/internal/buildinfo"
 	"blackforest/internal/core"
 	"blackforest/internal/faults"
 	"blackforest/internal/serve"
@@ -57,8 +59,15 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 256, "concurrent predict requests before load shedding with 503 (negative disables shedding)")
 	faultSpec := flag.String("faults", "", `fault injection spec, e.g. "seed=42,error=0.05,latency=0.1,spike=50ms,corrupt=0.01" (chaos testing; empty = off)`)
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
+	accessLog := flag.Bool("access-log", true, "write one structured (JSON) access-log line per request to stderr")
+	slowReq := flag.Duration("slow-request", time.Second, "access-log requests at least this slow at WARN with slow=true")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		buildinfo.Get("bfserve").Print(os.Stdout)
+		return
+	}
 	if (*model == "") == (*modelsDir == "") {
 		fmt.Fprintln(os.Stderr, "bfserve: exactly one of -model or -models-dir is required")
 		flag.Usage()
@@ -69,6 +78,13 @@ func main() {
 		fatal(err)
 	}
 	injector := faults.New(faultCfg)
+
+	// Access logs are structured JSON on stderr, one line per request;
+	// stdout stays human-oriented status output.
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 
 	srv, err := serve.New(serve.Config{
 		ModelPath:      *model,
@@ -82,6 +98,8 @@ func main() {
 		BatchMaxSize:   *batchMax,
 		MaxInFlight:    *maxInFlight,
 		Faults:         injector,
+		AccessLog:      logger,
+		SlowRequest:    *slowReq,
 	})
 	if err != nil {
 		fatal(err)

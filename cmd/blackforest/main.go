@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"blackforest/internal/buildinfo"
 	"blackforest/internal/core"
 	"blackforest/internal/dataset"
 	"blackforest/internal/faults"
@@ -47,7 +48,20 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault injection spec, e.g. "seed=42,runfail=0.2,dropout=0.1" (chaos testing; empty = off)`)
 	retries := flag.Int("retries", 0, "extra attempts for a failed profiling run (with -faults)")
 	completeness := flag.Float64("completeness", core.DefaultMinCompleteness, "column completeness threshold for degraded collections: lower columns are dropped, higher are mean-imputed")
+	explain := flag.Bool("explain", false, "print the simulator's cycle-accounting bottleneck breakdown for the kernel at its largest sweep size, then exit")
+	version := flag.Bool("version", false, "print version and build info, then exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Get("blackforest").Print(os.Stdout)
+		return
+	}
+	if *explain {
+		if err := explainKernel(*kernel, *device, *sweep, *seed, *simBlocks); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	faultCfg, err := faults.Parse(*faultSpec)
 	if err != nil {
@@ -246,6 +260,64 @@ func predictSizes(scaler *core.ProblemScaler, sizes string) error {
 		}
 		fmt.Printf("  size %8d → %.4f ms\n", n, t)
 	}
+	return nil
+}
+
+// explainKernel profiles the kernel at the largest size of its sweep
+// (noise-free, so the numbers are the model's own) and prints the
+// simulator's cycle-accounting breakdown: where the modeled cycles go,
+// and which term bound each launch. This is the per-kernel ground truth
+// the statistical pipeline's bottleneck diagnosis is trying to recover
+// from counters alone.
+func explainKernel(kernel, device, sweep string, seed uint64, simBlocks int) error {
+	dev, err := gpusim.LookupDevice(device)
+	if err != nil {
+		return err
+	}
+	runs, err := buildSweep(kernel, sweep, seed)
+	if err != nil {
+		return err
+	}
+	w := runs[len(runs)-1]
+	p := profiler.New(dev, profiler.Options{MaxSimBlocks: simBlocks, NoiseSigma: -1})
+	prof, err := p.Run(w)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cycle accounting: %s on %s (size %.0f, %d launches, %.4g modeled cycles)\n\n",
+		prof.Workload, prof.Device, prof.Characteristics["size"], prof.Launches, prof.Cycles)
+	b := prof.Breakdown
+	cats := []struct {
+		name   string
+		cycles float64
+	}{
+		{"issue/arithmetic", b.IssueCycles},
+		{"memory latency/bandwidth", b.MemLatencyCycles},
+		{"barrier wait", b.BarrierCycles},
+		{"shared-memory replay", b.SharedReplayCycles},
+		{"uncoalesced transactions", b.UncoalescedCycles},
+		{"atomic serialization", b.AtomicCycles},
+	}
+	rows := make([][]string, 0, len(cats))
+	for _, c := range cats {
+		share := 0.0
+		if prof.Cycles > 0 {
+			share = 100 * c.cycles / prof.Cycles
+		}
+		rows = append(rows, []string{c.name, fmt.Sprintf("%.4g", c.cycles), fmt.Sprintf("%.1f%%", share)})
+	}
+	if err := report.Table(os.Stdout, []string{"category", "cycles", "share"}, rows); err != nil {
+		return err
+	}
+
+	fmt.Println("\nlaunches per binding bottleneck term:")
+	for _, term := range []string{"issue", "alu", "dram", "l2", "latency", "atomics"} {
+		if n := prof.Bottlenecks[term]; n > 0 {
+			fmt.Printf("  %-8s ×%d\n", term, n)
+		}
+	}
+	fmt.Printf("dominant: %s\n", prof.DominantBottleneck())
 	return nil
 }
 

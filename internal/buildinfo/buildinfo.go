@@ -1,0 +1,75 @@
+// Package buildinfo is the single source of version/build identity for
+// every BlackForest binary. Version is a var (not a const) so release
+// builds can stamp it with -ldflags "-X blackforest/internal/buildinfo.Version=...";
+// VCS metadata comes from the Go toolchain's embedded build info, so even
+// unstamped developer builds report the commit they were built from.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the release version, stamped at link time; "dev" otherwise.
+var Version = "dev"
+
+// Info describes one binary build.
+type Info struct {
+	// Name is the binary name (e.g. "bfserve").
+	Name string
+	// Version is the stamped release version or "dev".
+	Version string
+	// Revision is the VCS commit the binary was built from ("" when built
+	// outside a checkout or without VCS stamping).
+	Revision string
+	// Dirty reports uncommitted changes in the build checkout.
+	Dirty bool
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+// Get assembles the build info for a binary.
+func Get(name string) Info {
+	info := Info{Name: name, Version: Version, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.modified":
+				info.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return info
+}
+
+// ShortRevision returns the commit truncated to 12 hex digits, with a
+// "-dirty" suffix when the checkout had local changes; "unknown" when no
+// VCS metadata was embedded.
+func (i Info) ShortRevision() string {
+	r := i.Revision
+	if r == "" {
+		return "unknown"
+	}
+	if len(r) > 12 {
+		r = r[:12]
+	}
+	if i.Dirty {
+		r += "-dirty"
+	}
+	return r
+}
+
+// String renders the one-line form printed by every CLI's -version flag.
+func (i Info) String() string {
+	return fmt.Sprintf("%s %s (commit %s, %s)", i.Name, i.Version, i.ShortRevision(), i.GoVersion)
+}
+
+// Print writes the -version line. Split from String only so CLIs share
+// the exact output format through one call.
+func (i Info) Print(w io.Writer) {
+	fmt.Fprintln(w, i.String())
+}

@@ -1,0 +1,42 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetAndString(t *testing.T) {
+	i := Get("bftest")
+	if i.Name != "bftest" {
+		t.Errorf("Name = %q", i.Name)
+	}
+	if i.Version != Version {
+		t.Errorf("Version = %q, want %q", i.Version, Version)
+	}
+	if i.GoVersion == "" {
+		t.Error("GoVersion is empty")
+	}
+	s := i.String()
+	for _, want := range []string{"bftest", i.Version, i.GoVersion} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestShortRevision(t *testing.T) {
+	cases := []struct {
+		info Info
+		want string
+	}{
+		{Info{}, "unknown"},
+		{Info{Revision: "abc"}, "abc"},
+		{Info{Revision: "0123456789abcdef0123"}, "0123456789ab"},
+		{Info{Revision: "0123456789abcdef0123", Dirty: true}, "0123456789ab-dirty"},
+	}
+	for _, c := range cases {
+		if got := c.info.ShortRevision(); got != c.want {
+			t.Errorf("ShortRevision(%+v) = %q, want %q", c.info, got, c.want)
+		}
+	}
+}

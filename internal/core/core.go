@@ -23,6 +23,7 @@ import (
 	"blackforest/internal/faults"
 	"blackforest/internal/forest"
 	"blackforest/internal/gpusim"
+	"blackforest/internal/obs"
 	"blackforest/internal/profiler"
 	"blackforest/internal/runcache"
 )
@@ -105,6 +106,10 @@ type CollectOptions struct {
 	// concurrent collections (overrides Workers when set), so a suite of
 	// experiments drains through one global scheduler.
 	Gate profiler.Gate
+	// Tracer optionally records profiling spans (run → attempt →
+	// simulate, one lane per worker slot) and cache-hit instants. Nil
+	// disables tracing; collected frames are bit-identical either way.
+	Tracer *obs.Tracer
 }
 
 // Collect profiles every workload run on the device and assembles the
@@ -136,6 +141,7 @@ func CollectWithReport(dev *gpusim.Device, runs []profiler.Workload, opt Collect
 		RetryBackoff: opt.RetryBackoff,
 		Cache:        opt.Cache,
 		Gate:         opt.Gate,
+		Tracer:       opt.Tracer,
 	})
 	profiles, err := p.RunAll(runs, opt.Workers)
 	if err != nil {

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+
+	"blackforest/internal/obs"
 	"blackforest/internal/profiler"
 	"blackforest/internal/runcache"
 )
@@ -24,8 +27,9 @@ import (
 // standalone, sequential collection would produce (see profiler.RunKey
 // for why the memoization is sound).
 type Engine struct {
-	cache *runcache.Cache[*profiler.Profile]
-	gate  profiler.Gate
+	cache  *runcache.Cache[*profiler.Profile]
+	gate   profiler.Gate
+	tracer *obs.Tracer
 }
 
 // EngineConfig configures a shared experiment engine.
@@ -39,6 +43,11 @@ type EngineConfig struct {
 	// Workers is the size of the global simulation pool
 	// (0 = runtime.NumCPU()).
 	Workers int
+	// Tracer optionally records every collection's spans, one lane per
+	// pool slot (plus profiler.LaneCache for cache hits) — the engine
+	// names the lanes so exported traces read as worker timelines. Nil
+	// disables tracing; results are bit-identical either way.
+	Tracer *obs.Tracer
 }
 
 // NewEngine builds the shared cache and worker pool.
@@ -47,7 +56,14 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cache: cache, gate: profiler.NewGate(cfg.Workers)}, nil
+	gate := profiler.NewGate(cfg.Workers)
+	if tr := cfg.Tracer; tr.Enabled() {
+		tr.SetLaneName(profiler.LaneCache, "cache")
+		for i := 0; i < gate.Size(); i++ {
+			tr.SetLaneName(i, fmt.Sprintf("worker-%d", i))
+		}
+	}
+	return &Engine{cache: cache, gate: gate, tracer: cfg.Tracer}, nil
 }
 
 // Stats returns a snapshot of the engine's cache counters.
@@ -55,3 +71,12 @@ func (e *Engine) Stats() runcache.Stats { return e.cache.Stats() }
 
 // CacheDir returns the disk cache directory ("" when memory-only).
 func (e *Engine) CacheDir() string { return e.cache.Dir() }
+
+// Tracer returns the engine's tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// RegisterMetrics exposes the engine's run-cache counters in r under the
+// given metric-name prefix (see runcache.RegisterMetrics).
+func (e *Engine) RegisterMetrics(r *obs.Registry, prefix string) {
+	runcache.RegisterMetrics(r, prefix, e.cache.Stats)
+}

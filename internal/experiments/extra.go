@@ -46,6 +46,7 @@ func RunReductionLadder(o Options) (*ReductionLadder, error) {
 	if o.Engine != nil {
 		popt.Cache = o.Engine.cache
 		popt.Gate = o.Engine.gate
+		popt.Tracer = o.Engine.tracer
 	}
 	p := profiler.New(dev, popt)
 	out := &ReductionLadder{Device: dev.Name, N: n}

@@ -37,6 +37,7 @@ func (o Options) collectOptions() core.CollectOptions {
 	if o.Engine != nil {
 		copt.Cache = o.Engine.cache
 		copt.Gate = o.Engine.gate
+		copt.Tracer = o.Engine.tracer
 	}
 	return copt
 }

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"blackforest/internal/obs"
+)
+
+// TestTracingIsBitIdentical pins the tentpole determinism contract, in
+// the style of the faults-off guarantee: enabling the tracer must not
+// change a single output byte — it only ever adds a trace file.
+func TestTracingIsBitIdentical(t *testing.T) {
+	render := func(tracer *obs.Tracer) []byte {
+		engine, err := NewEngine(EngineConfig{Workers: 2, Tracer: tracer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunReductionAnalysis(1, Options{Seed: 1, Scale: Quick, Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	plain := render(nil)
+	var clock int64
+	tracer := obs.NewTracer(func() int64 { clock += 1000; return clock })
+	traced := render(tracer)
+
+	if !bytes.Equal(plain, traced) {
+		t.Fatal("enabling the tracer changed rendered experiment output")
+	}
+	if tracer.Len() == 0 {
+		t.Fatal("enabled tracer recorded no events during a collection")
+	}
+
+	// The recorded spans must include the run → attempt → simulate chain
+	// and export as valid Chrome trace JSON.
+	seen := map[string]bool{}
+	for _, ev := range tracer.Events() {
+		switch {
+		case strings.HasPrefix(ev.Name, "run "):
+			seen["run"] = true
+		case ev.Name == "attempt":
+			seen["attempt"] = true
+		case ev.Name == "simulate":
+			seen["simulate"] = true
+		}
+	}
+	for _, want := range []string{"run", "attempt", "simulate"} {
+		if !seen[want] {
+			t.Errorf("trace is missing %q spans", want)
+		}
+	}
+	var out bytes.Buffer
+	if err := tracer.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < tracer.Len() {
+		t.Fatalf("export has %d events, tracer recorded %d", len(parsed.TraceEvents), tracer.Len())
+	}
+}
+
+// TestEngineCacheHitsTraced checks that a warm rerun shows up as cache-hit
+// instants rather than simulate spans.
+func TestEngineCacheHitsTraced(t *testing.T) {
+	var clock int64
+	tracer := obs.NewTracer(func() int64 { clock += 1000; return clock })
+	engine, err := NewEngine(EngineConfig{Workers: 2, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Seed: 1, Scale: Quick, Engine: engine}
+	if _, err := RunReductionAnalysis(1, o); err != nil {
+		t.Fatal(err)
+	}
+	simulations := 0
+	for _, ev := range tracer.Events() {
+		if ev.Name == "simulate" {
+			simulations++
+		}
+	}
+	if _, err := RunReductionAnalysis(1, o); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, ev := range tracer.Events() {
+		if ev.Name == "cache-hit" {
+			hits++
+		}
+	}
+	if hits < simulations {
+		t.Errorf("warm rerun recorded %d cache-hit instants, want >= %d (one per prior simulation)", hits, simulations)
+	}
+	after := 0
+	for _, ev := range tracer.Events() {
+		if ev.Name == "simulate" {
+			after++
+		}
+	}
+	if after != simulations {
+		t.Errorf("warm rerun simulated again: %d simulate spans, want %d", after, simulations)
+	}
+}
+
+// TestEngineRegisterMetrics checks the run-cache counters surface through
+// the shared registry (the same path bfserve's /metrics uses).
+func TestEngineRegisterMetrics(t *testing.T) {
+	engine, err := NewEngine(EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Seed: 1, Scale: Quick, Engine: engine}
+	if _, err := RunReductionAnalysis(1, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunReductionAnalysis(1, o); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	engine.RegisterMetrics(reg, "bfbench_runcache")
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE bfbench_runcache_hits_total gauge",
+		`bfbench_runcache_hits_total{layer="mem"}`,
+		`bfbench_runcache_hits_total{layer="disk"} 0`,
+		"bfbench_runcache_misses_total",
+		"bfbench_runcache_coalesced_total",
+		"bfbench_runcache_bad_entries_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q\n---\n%s", want, out)
+		}
+	}
+	stats := engine.Stats()
+	if stats.MemHits == 0 {
+		t.Fatal("second identical analysis produced no mem hits")
+	}
+	if !strings.Contains(out, "bfbench_runcache_hits_total{layer=\"mem\"} "+
+		strconv.FormatInt(stats.MemHits, 10)) {
+		t.Errorf("scrape does not reflect live MemHits=%d\n---\n%s", stats.MemHits, out)
+	}
+}

@@ -1,0 +1,171 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// BottleneckBreakdown attributes a launch's modeled Cycles to the stall
+// and work categories the paper's bottleneck analysis reasons about. The
+// categories partition the total exactly: Total() reproduces
+// LaunchResult.Cycles bit-for-bit, so per-category shares are meaningful
+// percentages and downstream optimizers (ROADMAP item 3) can rank
+// remediation by attributed cycles without re-deriving the timing model.
+//
+// Attribution is closed-form from the same counters and device terms the
+// timing model uses: each category gets a weight in cycle units, and the
+// final Cycles (including the pipeline-smoothing adjustment) is
+// distributed proportionally. The breakdown is therefore a pure view over
+// the existing model — computing it never changes Cycles, Bottleneck, or
+// any derived metric.
+type BottleneckBreakdown struct {
+	// IssueCycles: productive instruction issue and arithmetic — the
+	// cycles the kernel would cost with every stall removed.
+	IssueCycles float64 `json:"issue_cycles"`
+	// MemLatencyCycles: DRAM/L2 bandwidth and unhidden memory round-trip
+	// latency.
+	MemLatencyCycles float64 `json:"mem_latency_cycles"`
+	// BarrierCycles: pipeline drains at __syncthreads barriers.
+	BarrierCycles float64 `json:"barrier_cycles"`
+	// SharedReplayCycles: shared-memory bank-conflict replays.
+	SharedReplayCycles float64 `json:"shared_replay_cycles"`
+	// UncoalescedCycles: replays from uncoalesced global transactions.
+	UncoalescedCycles float64 `json:"uncoalesced_cycles"`
+	// AtomicCycles: same-address atomic serialization and atomic replays.
+	AtomicCycles float64 `json:"atomic_cycles"`
+}
+
+// barrierDrainCycles is the modeled issue-slot cost of one warp reaching a
+// barrier: the warp sits in the scheduler without issuing for roughly a
+// pipeline depth while the slowest warp of its block catches up.
+const barrierDrainCycles = 8
+
+// Total returns the attributed cycles. Summation order is fixed so the
+// exactness fix-up in computeBreakdown can target it.
+func (b *BottleneckBreakdown) Total() float64 {
+	return b.IssueCycles + b.MemLatencyCycles + b.BarrierCycles +
+		b.SharedReplayCycles + b.UncoalescedCycles + b.AtomicCycles
+}
+
+// Add accumulates other into b (used to aggregate per-launch breakdowns
+// into a per-workload one).
+func (b *BottleneckBreakdown) Add(other *BottleneckBreakdown) {
+	b.IssueCycles += other.IssueCycles
+	b.MemLatencyCycles += other.MemLatencyCycles
+	b.BarrierCycles += other.BarrierCycles
+	b.SharedReplayCycles += other.SharedReplayCycles
+	b.UncoalescedCycles += other.UncoalescedCycles
+	b.AtomicCycles += other.AtomicCycles
+}
+
+// Scale multiplies every category by f.
+func (b *BottleneckBreakdown) Scale(f float64) {
+	b.IssueCycles *= f
+	b.MemLatencyCycles *= f
+	b.BarrierCycles *= f
+	b.SharedReplayCycles *= f
+	b.UncoalescedCycles *= f
+	b.AtomicCycles *= f
+}
+
+// String renders the breakdown as per-category percentages, largest first
+// omitted — fixed order keeps the output diffable.
+func (b *BottleneckBreakdown) String() string {
+	total := b.Total()
+	if total <= 0 {
+		return "issue 0% mem 0% barrier 0% shared-replay 0% uncoalesced 0% atomics 0%"
+	}
+	pct := func(v float64) float64 { return 100 * v / total }
+	return fmt.Sprintf("issue %.1f%% mem %.1f%% barrier %.1f%% shared-replay %.1f%% uncoalesced %.1f%% atomics %.1f%%",
+		pct(b.IssueCycles), pct(b.MemLatencyCycles), pct(b.BarrierCycles),
+		pct(b.SharedReplayCycles), pct(b.UncoalescedCycles), pct(b.AtomicCycles))
+}
+
+// computeBreakdown distributes cycles across categories using per-category
+// weights expressed in cycle units (so they are commensurate):
+//
+//   - shared replays and uncoalesced replays each occupy one issue slot, so
+//     their weight is replays / device issue rate — carved out of the issue
+//     term, which counts InstIssued including replays;
+//   - barriers cost barrierDrainCycles of stalled issue per warp-barrier;
+//   - memory weight is the sum of the dram, l2, and latency terms;
+//   - atomics weight is the serialization term plus atomic replays;
+//   - issue keeps the remainder of the issue term plus the alu term.
+//
+// The weights are normalized onto the final smoothed Cycles, and a fix-up
+// loop pins Total() to cycles exactly (floating-point summation order
+// would otherwise leave an ulp of drift).
+func computeBreakdown(c *Counters, cycles, issueRate, issueCycles, aluCycles, dramCycles, l2Cycles, latencyCycles, atomCycles float64) BottleneckBreakdown {
+	var b BottleneckBreakdown
+	if cycles <= 0 {
+		return b
+	}
+	sharedW := float64(c.SharedLoadReplay+c.SharedStoreReplay) / issueRate
+	uncoalW := float64(c.GlobalReplay) / issueRate
+	atomReplayW := float64(c.AtomicReplays) / issueRate
+	barrierW := barrierDrainCycles * float64(c.SyncCount) / issueRate
+	memW := dramCycles + l2Cycles + latencyCycles
+	atomW := atomCycles + atomReplayW
+	issueW := issueCycles - sharedW - uncoalW - atomReplayW
+	if issueW < 0 {
+		issueW = 0
+	}
+	issueW += aluCycles
+
+	totalW := issueW + memW + barrierW + sharedW + uncoalW + atomW
+	if totalW <= 0 {
+		b.IssueCycles = cycles
+		return b
+	}
+	scale := cycles / totalW
+	b.IssueCycles = issueW * scale
+	b.MemLatencyCycles = memW * scale
+	b.BarrierCycles = barrierW * scale
+	b.SharedReplayCycles = sharedW * scale
+	b.UncoalescedCycles = uncoalW * scale
+	b.AtomicCycles = atomW * scale
+	b.PinTotal(cycles)
+	return b
+}
+
+// PinTotal adjusts the categories so Total() reproduces total bit-for-bit.
+// computeBreakdown uses it to absorb the rounding of the proportional
+// split; callers that sum per-launch breakdowns use it to re-pin the
+// aggregate to the summed Cycles, where floating-point association would
+// otherwise drift an ulp.
+//
+// Exactness is by construction, not by iteration: every category except
+// the largest is rounded down to a multiple of g = 64·ulp(total) (a
+// relative error of ~1e-14, far below model fidelity), and the largest is
+// set to total minus their sum. All six values and every prefix sum are
+// then multiples of ulp(total) bounded by total, hence exactly
+// representable — so the fixed-order summation in Total() incurs no
+// rounding at all and lands on total exactly.
+func (b *BottleneckBreakdown) PinTotal(total float64) {
+	fields := [...]*float64{&b.IssueCycles, &b.MemLatencyCycles, &b.BarrierCycles,
+		&b.SharedReplayCycles, &b.UncoalescedCycles, &b.AtomicCycles}
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		for _, f := range fields {
+			*f = 0
+		}
+		b.IssueCycles = total
+		return
+	}
+	_, exp := math.Frexp(total) // total ∈ [2^(exp-1), 2^exp)
+	g := math.Ldexp(1, exp-47)  // 64 × ulp(total); power-of-two scaling is exact
+	largest := 0
+	for i, f := range fields {
+		if *f > *fields[largest] {
+			largest = i
+		}
+	}
+	var others float64
+	for i, f := range fields {
+		if i == largest {
+			continue
+		}
+		*f = math.Floor(*f/g) * g
+		others += *f // multiples of g: summation is exact
+	}
+	*fields[largest] = total - others
+}

@@ -38,6 +38,10 @@ type LaunchResult struct {
 	// Bottleneck names the term that bounded the kernel time:
 	// "issue", "alu", "dram", "l2", or "latency".
 	Bottleneck string
+	// Breakdown attributes Cycles to stall/work categories; its Total()
+	// equals Cycles exactly. It is a pure view over the timing model:
+	// computing it never changes Cycles or Bottleneck.
+	Breakdown BottleneckBreakdown
 	// EnergyMJ is the modeled energy of the launch in millijoules
 	// (idle draw over the duration plus per-event dynamic energy).
 	EnergyMJ float64
@@ -204,6 +208,9 @@ func (s *Simulator) model(res *LaunchResult) {
 	// hidden behind the bottleneck.
 	sum := issueCycles + aluCycles + dramCycles + l2Cycles + latencyCycles + atomCycles
 	res.Cycles += 0.08 * (sum - res.Cycles)
+
+	res.Breakdown = computeBreakdown(c, res.Cycles, effSMs*d.PeakWarpIssuePerCycle(),
+		issueCycles, aluCycles, dramCycles, l2Cycles, latencyCycles, atomCycles)
 
 	res.TimeMS = res.Cycles/(d.ClockGHz*1e9)*1e3 + d.LaunchOverheadUS/1e3
 

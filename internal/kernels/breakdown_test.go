@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"testing"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/profiler"
+)
+
+// These tests pin the simulator's cycle-accounting bottleneck attribution
+// (gpusim.BottleneckBreakdown) in the style of the counter-invariant
+// suite: for every kernel family on both device architectures, the
+// per-launch breakdown must partition the modeled Cycles exactly (±0, in
+// the floating-point sense: Total() reproduces Cycles bit-for-bit), every
+// category must be non-negative, and kernels with known stall signatures
+// must attribute cycles to the matching category.
+
+// breakdownWorkloads returns one representative of each of the five
+// kernel families. Fresh values each call: workloads hold buffers.
+func breakdownWorkloads() []profiler.Workload {
+	return []profiler.Workload{
+		&MatMul{N: 64, Seed: 1},
+		&Reduction{Variant: 1, N: 4096, BlockSize: 256, Seed: 2},
+		&NeedlemanWunsch{SeqLen: 64, Penalty: 10, Seed: 3},
+		&Transpose{Variant: 0, N: 64, Seed: 4},
+		&Histogram{Variant: 0, N: 4096, BlockSize: 256, Seed: 5},
+	}
+}
+
+func TestBreakdownPartitionsCyclesExactly(t *testing.T) {
+	for _, devName := range []string{"GTX580", "K20m"} {
+		dev, err := gpusim.LookupDevice(devName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range breakdownWorkloads() {
+			launches, err := w.Plan(dev)
+			if err != nil {
+				t.Fatalf("%s/%s: plan: %v", devName, w.Name(), err)
+			}
+			sim := gpusim.NewSimulator(dev)
+			for i, l := range launches {
+				res, err := sim.Launch(l.Config, l.Kernel, gpusim.LaunchOptions{})
+				if err != nil {
+					t.Fatalf("%s/%s launch %d (%s): %v", devName, w.Name(), i, l.Label, err)
+				}
+				b := res.Breakdown
+				if got := b.Total(); got != res.Cycles {
+					t.Errorf("%s/%s launch %d (%s): breakdown total = %v, want exactly Cycles = %v (diff %g)",
+						devName, w.Name(), i, l.Label, got, res.Cycles, got-res.Cycles)
+				}
+				for _, c := range []struct {
+					name string
+					v    float64
+				}{
+					{"issue", b.IssueCycles},
+					{"mem", b.MemLatencyCycles},
+					{"barrier", b.BarrierCycles},
+					{"shared-replay", b.SharedReplayCycles},
+					{"uncoalesced", b.UncoalescedCycles},
+					{"atomics", b.AtomicCycles},
+				} {
+					if c.v < 0 {
+						t.Errorf("%s/%s launch %d (%s): %s cycles = %v, want >= 0",
+							devName, w.Name(), i, l.Label, c.name, c.v)
+					}
+				}
+			}
+			if rel, ok := w.(profiler.Releaser); ok {
+				rel.Release()
+			}
+		}
+	}
+}
+
+func TestBreakdownStallSignatures(t *testing.T) {
+	bd := func(dev string, w profiler.Workload) gpusim.BottleneckBreakdown {
+		return runFull(t, dev, w).Breakdown
+	}
+	for _, dev := range []string{"GTX580", "K20m"} {
+		// reduce1's strided shared-memory indexing bank-conflicts; reduce2's
+		// sequential addressing is conflict-free (the §5 contrast).
+		if b := bd(dev, &Reduction{Variant: 1, N: 4096, BlockSize: 256, Seed: 2}); b.SharedReplayCycles <= 0 {
+			t.Errorf("%s: reduce1 shared-replay cycles = %v, want > 0", dev, b.SharedReplayCycles)
+		}
+		if b := bd(dev, &Reduction{Variant: 2, N: 4096, BlockSize: 256, Seed: 2}); b.SharedReplayCycles != 0 {
+			t.Errorf("%s: reduce2 shared-replay cycles = %v, want 0", dev, b.SharedReplayCycles)
+		}
+		// Barriers only show where kernels synchronize: every matmul tile
+		// loop syncs; the naive copy-transpose never does.
+		if b := bd(dev, &MatMul{N: 64, Seed: 1}); b.BarrierCycles <= 0 {
+			t.Errorf("%s: matmul barrier cycles = %v, want > 0", dev, b.BarrierCycles)
+		}
+		// The atomic histogram pays same-bin serialization; skew
+		// concentrates updates and must not reduce the attributed cycles.
+		uni := bd(dev, &Histogram{Variant: 0, N: 8192, BlockSize: 256, Seed: 5})
+		if uni.AtomicCycles <= 0 {
+			t.Errorf("%s: histogram atomic cycles = %v, want > 0", dev, uni.AtomicCycles)
+		}
+		skew := bd(dev, &Histogram{Variant: 0, N: 8192, BlockSize: 256, Seed: 5, Skew: 0.9})
+		if skew.AtomicCycles <= uni.AtomicCycles {
+			t.Errorf("%s: skewed histogram atomic cycles = %v, want > uniform %v",
+				dev, skew.AtomicCycles, uni.AtomicCycles)
+		}
+	}
+	// Uncoalesced replay attribution is a Fermi mechanism (Kepler global
+	// loads bypass L1): the strided naive transpose must show it there.
+	if b := bd("GTX580", &Transpose{Variant: 0, N: 128, Seed: 4}); b.UncoalescedCycles <= 0 {
+		t.Errorf("GTX580: transpose0 uncoalesced cycles = %v, want > 0", b.UncoalescedCycles)
+	}
+}
+
+func TestProfileBreakdownMatchesAggregateCycles(t *testing.T) {
+	for _, dev := range []string{"GTX580", "K20m"} {
+		for _, w := range breakdownWorkloads() {
+			prof := runFull(t, dev, w)
+			if got := prof.Breakdown.Total(); got != prof.Cycles {
+				t.Errorf("%s/%s: profile breakdown total = %v, want exactly %v",
+					dev, prof.Workload, got, prof.Cycles)
+			}
+			if prof.Cycles <= 0 {
+				t.Errorf("%s/%s: profile cycles = %v, want > 0", dev, prof.Workload, prof.Cycles)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPctEdgeCases pins the nearest-rank quantile on the degenerate inputs
+// a short or failed run produces: no samples, one sample, identical
+// samples.
+func TestPctEdgeCases(t *testing.T) {
+	qs := []float64{0, 0.5, 0.9, 0.99, 1}
+	for _, q := range qs {
+		if got := pct(nil, q); got != 0 {
+			t.Errorf("pct(nil, %g) = %g, want 0", q, got)
+		}
+		if got := pct([]float64{7.5}, q); got != 7.5 {
+			t.Errorf("pct([7.5], %g) = %g, want 7.5", q, got)
+		}
+		all := []float64{3, 3, 3, 3, 3}
+		if got := pct(all, q); got != 3 {
+			t.Errorf("pct(all-equal, %g) = %g, want 3", q, got)
+		}
+	}
+}
+
+// TestPctNearestRank checks the index arithmetic against hand-computed
+// ranks: on n sorted samples, quantile q reads index int(q*(n-1)).
+func TestPctNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},    // index 0
+		{0.5, 5},  // index int(4.5) = 4
+		{0.9, 9},  // index int(8.1) = 8
+		{0.99, 9}, // index int(8.91) = 8
+		{1, 10},   // index 9
+	} {
+		if got := pct(sorted, tc.q); got != tc.want {
+			t.Errorf("pct(1..10, %g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestReportGoldenJSON pins the report's exact JSON rendering — field
+// names, order, indentation — so downstream consumers (CI dashboards,
+// jq pipelines in the README) never break on a silent schema change.
+func TestReportGoldenJSON(t *testing.T) {
+	rep := &Report{
+		URL:         "http://localhost:8391/v1/predict",
+		Model:       "matmul",
+		Requests:    100,
+		Errors:      2,
+		StatusCount: map[string]int{"200": 98, "503": 2},
+		Concurrency: 8,
+		QPS:         500,
+		Seed:        1,
+		DurationMS:  250.5,
+		Throughput:  391.2,
+		LatencyMS: Latency{
+			Mean: 1.25,
+			P50:  1,
+			P90:  2.5,
+			P99:  6.125,
+			Max:  9.75,
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "url": "http://localhost:8391/v1/predict",
+  "model": "matmul",
+  "requests": 100,
+  "errors": 2,
+  "status_counts": {
+    "200": 98,
+    "503": 2
+  },
+  "concurrency": 8,
+  "target_qps": 500,
+  "seed": 1,
+  "duration_ms": 250.5,
+  "throughput_rps": 391.2,
+  "latency_ms": {
+    "mean": 1.25,
+    "p50": 1,
+    "p90": 2.5,
+    "p99": 6.125,
+    "max": 9.75
+  }
+}
+`
+	if buf.String() != golden {
+		t.Errorf("report JSON drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), golden)
+	}
+}

@@ -13,7 +13,7 @@ import (
 // derived changes, so stale cache entries from older binaries can never
 // be mistaken for current results. (Simulator-model changes are covered
 // separately by gpusim.ModelVersion.)
-const profileCacheVersion = "profile-v1"
+const profileCacheVersion = "profile-v2"
 
 // NewRunCache builds a content-addressed cache of profiles, keyed by
 // RunKey and serialized as JSON (Go's float64 JSON encoding is
@@ -71,7 +71,11 @@ func (p *Profiler) RunKey(w Workload) runcache.Key {
 // global pool — the machine stays saturated across experiments instead
 // of each collection rationing its own workers. Cache lookups and
 // coalesced waits do not hold a slot; only real simulation work does.
-type Gate chan struct{}
+//
+// Slots carry stable ids 0..n-1, so a holder knows which of the n workers
+// it is — the tracer uses the id as the span's lane, which is what makes
+// scheduler occupancy visible as one timeline per worker.
+type Gate chan int
 
 // NewGate builds a gate admitting n concurrent runs (n <= 0 selects
 // runtime.NumCPU()).
@@ -79,8 +83,15 @@ func NewGate(n int) Gate {
 	if n <= 0 {
 		n = runtime.NumCPU()
 	}
-	return make(Gate, n)
+	g := make(Gate, n)
+	for i := 0; i < n; i++ {
+		g <- i
+	}
+	return g
 }
 
-func (g Gate) enter() { g <- struct{}{} }
-func (g Gate) leave() { <-g }
+// Size returns the number of slots.
+func (g Gate) Size() int { return cap(g) }
+
+func (g Gate) enter() int     { return <-g }
+func (g Gate) leave(slot int) { g <- slot }

@@ -24,9 +24,14 @@ import (
 	"blackforest/internal/counters"
 	"blackforest/internal/faults"
 	"blackforest/internal/gpusim"
+	"blackforest/internal/obs"
 	"blackforest/internal/runcache"
 	"blackforest/internal/stats"
 )
+
+// LaneCache is the trace lane for cache events (hits and coalesced waits),
+// which never occupy a worker slot and so have no worker lane of their own.
+const LaneCache = -1
 
 // Launch is one kernel launch of a workload.
 type Launch struct {
@@ -95,6 +100,10 @@ type Options struct {
 	// building a per-call pool, so concurrent sweeps (or whole experiment
 	// suites) saturate the machine together without oversubscribing it.
 	Gate Gate
+	// Tracer optionally records run → attempt → simulate spans, one lane
+	// per gate slot, plus cache-hit instants. Nil (the default) disables
+	// tracing at zero cost; every profile is bit-identical either way.
+	Tracer *obs.Tracer
 }
 
 // Profile is the result of profiling one workload run: the paper's unit of
@@ -120,6 +129,11 @@ type Profile struct {
 	Launches int
 	// Bottlenecks counts launches per binding bottleneck term.
 	Bottlenecks map[string]int
+	// Cycles is the modeled core-cycle total summed over all launches.
+	Cycles float64
+	// Breakdown attributes Cycles to stall/work categories, summed over
+	// all launches; Breakdown.Total() equals Cycles exactly.
+	Breakdown gpusim.BottleneckBreakdown
 	// Dropped lists counter names lost to injected dropout for this run,
 	// sorted. Empty in normal operation; downstream frame assembly uses
 	// it to decide between dropping and imputing incomplete columns.
@@ -195,20 +209,29 @@ func (p *Profiler) noiseSeed(w Workload) uint64 {
 // the injector fails reports an error wrapping faults.ErrInjected; Run
 // is always "attempt 0" (RunAll drives later attempts).
 func (p *Profiler) Run(w Workload) (*Profile, error) {
+	computed := false
 	compute := func() (*Profile, error) {
+		computed = true
+		lane := 0
 		if g := p.opt.Gate; g != nil {
-			g.enter()
-			defer g.leave()
+			lane = g.enter()
+			defer g.leave(lane)
 		}
-		return p.run(w, 0)
+		sp := p.opt.Tracer.Begin(lane, "run "+w.Name())
+		defer sp.End()
+		return p.run(w, 0, lane)
 	}
 	if p.opt.Cache == nil {
 		return compute()
 	}
-	return p.opt.Cache.Do(p.RunKey(w), compute)
+	prof, err := p.opt.Cache.Do(p.RunKey(w), compute)
+	if !computed && err == nil {
+		p.opt.Tracer.Instant(LaneCache, "cache-hit", obs.Arg{Key: "workload", Value: w.Name()})
+	}
+	return prof, err
 }
 
-func (p *Profiler) run(w Workload, attempt int) (*Profile, error) {
+func (p *Profiler) run(w Workload, attempt, lane int) (*Profile, error) {
 	launches, err := w.Plan(p.dev)
 	if err != nil {
 		return nil, fmt.Errorf("profiler: planning %s: %w", w.Name(), err)
@@ -222,11 +245,16 @@ func (p *Profiler) run(w Workload, attempt int) (*Profile, error) {
 
 	sim := gpusim.NewSimulator(p.dev)
 	var agg counters.Sample
+	var breakdown gpusim.BottleneckBreakdown
 	var occWeighted, smWeighted, energyMJ float64
 	bottlenecks := make(map[string]int)
+	simSpan := p.opt.Tracer.Begin(lane, "simulate").
+		Arg("workload", w.Name()).
+		Arg("launches", fmt.Sprint(len(launches)))
 	for _, l := range launches {
 		res, err := sim.Launch(l.Config, l.Kernel, gpusim.LaunchOptions{MaxSimBlocks: p.opt.MaxSimBlocks})
 		if err != nil {
+			simSpan.End()
 			return nil, fmt.Errorf("profiler: launching %s/%s: %w", w.Name(), l.Label, err)
 		}
 		agg.Raw.Add(&res.Counters)
@@ -236,7 +264,12 @@ func (p *Profiler) run(w Workload, attempt int) (*Profile, error) {
 		smWeighted += res.Occupancy.TailUtilization * res.Cycles
 		energyMJ += res.EnergyMJ
 		bottlenecks[res.Bottleneck]++
+		breakdown.Add(&res.Breakdown)
 	}
+	simSpan.End()
+	// Re-pin after summation: per-launch totals are exact, but summing the
+	// six fields independently associates differently than summing Cycles.
+	breakdown.PinTotal(agg.Cycles)
 	if agg.Cycles > 0 {
 		agg.AchievedOccupancy = occWeighted / agg.Cycles
 		agg.SMEfficiency = smWeighted / agg.Cycles
@@ -275,6 +308,8 @@ func (p *Profiler) run(w Workload, attempt int) (*Profile, error) {
 		EnergyMJ:        energyMJ,
 		Launches:        len(launches),
 		Bottlenecks:     bottlenecks,
+		Cycles:          agg.Cycles,
+		Breakdown:       breakdown,
 		Dropped:         dropped,
 	}, nil
 }
@@ -343,26 +378,38 @@ func (p *Profiler) RunAll(runs []Workload, workers int) ([]*Profile, error) {
 // identical in-flight run) returns without ever taking a pool slot; a
 // real simulation holds one slot for its duration.
 func (p *Profiler) runGated(w Workload, gate Gate) (*Profile, error) {
-	if p.opt.Cache == nil {
-		gate.enter()
-		defer gate.leave()
-		return p.runWithRetry(w)
+	computed := false
+	compute := func() (*Profile, error) {
+		computed = true
+		slot := gate.enter()
+		defer gate.leave(slot)
+		sp := p.opt.Tracer.Begin(slot, "run "+w.Name())
+		defer sp.End()
+		return p.runWithRetry(w, slot)
 	}
-	return p.opt.Cache.Do(p.RunKey(w), func() (*Profile, error) {
-		gate.enter()
-		defer gate.leave()
-		return p.runWithRetry(w)
-	})
+	if p.opt.Cache == nil {
+		return compute()
+	}
+	prof, err := p.opt.Cache.Do(p.RunKey(w), compute)
+	if !computed && err == nil {
+		p.opt.Tracer.Instant(LaneCache, "cache-hit", obs.Arg{Key: "workload", Value: w.Name()})
+	}
+	return prof, err
 }
 
 // runWithRetry drives one workload through up to 1+Retries attempts.
-func (p *Profiler) runWithRetry(w Workload) (*Profile, error) {
+func (p *Profiler) runWithRetry(w Workload, lane int) (*Profile, error) {
 	var lastErr error
 	for attempt := 0; attempt <= p.opt.Retries; attempt++ {
 		if attempt > 0 && p.opt.RetryBackoff > 0 {
 			time.Sleep(p.opt.RetryBackoff << (attempt - 1))
 		}
-		prof, err := p.run(w, attempt)
+		asp := p.opt.Tracer.Begin(lane, "attempt").Arg("n", fmt.Sprint(attempt+1))
+		prof, err := p.run(w, attempt, lane)
+		if err != nil {
+			asp.Arg("error", "true")
+		}
+		asp.End()
 		// Release unconditionally: Plan may have allocated (NW's
 		// O(n²) matrix) even when the launch later failed.
 		if rel, ok := w.(Releaser); ok {

@@ -1,0 +1,32 @@
+package runcache
+
+import "blackforest/internal/obs"
+
+// RegisterMetrics exposes a cache's counters as live series in r under the
+// given metric-name prefix (e.g. prefix "bfserve_runcache" yields
+// "bfserve_runcache_hits_total{layer=\"mem\"}", …). stats is called at
+// scrape time, so the scrape always reflects the current counters and
+// nothing is double-accounted. It takes a snapshot function rather than a
+// *Cache[T] so any stats source — a profiler run cache, a serving-side
+// cache — registers the same way regardless of its value type.
+func RegisterMetrics(r *obs.Registry, prefix string, stats func() Stats) {
+	get := func(f func(Stats) int64) func() float64 {
+		return func() float64 { return float64(f(stats())) }
+	}
+	r.GaugeFunc(prefix+"_hits_total", "Run-cache lookups served from each layer.",
+		get(func(s Stats) int64 { return s.MemHits }), obs.Label{Name: "layer", Value: "mem"})
+	r.GaugeFunc(prefix+"_hits_total", "Run-cache lookups served from each layer.",
+		get(func(s Stats) int64 { return s.DiskHits }), obs.Label{Name: "layer", Value: "disk"})
+	r.GaugeFunc(prefix+"_misses_total", "Run-cache lookups that found nothing usable.",
+		get(func(s Stats) int64 { return s.Misses }))
+	r.GaugeFunc(prefix+"_coalesced_total", "Callers that shared another caller's in-flight computation.",
+		get(func(s Stats) int64 { return s.Coalesced }))
+	r.GaugeFunc(prefix+"_writes_total", "Disk entries written.",
+		get(func(s Stats) int64 { return s.Writes }))
+	r.GaugeFunc(prefix+"_write_errors_total", "Disk writes that failed (degrades to memory-only, never a wrong answer).",
+		get(func(s Stats) int64 { return s.WriteErrors }))
+	r.GaugeFunc(prefix+"_evictions_total", "Memory-layer LRU evictions.",
+		get(func(s Stats) int64 { return s.Evictions }))
+	r.GaugeFunc(prefix+"_bad_entries_total", "Corrupt disk entries discarded instead of served.",
+		get(func(s Stats) int64 { return s.BadEntries }))
+}

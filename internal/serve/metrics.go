@@ -154,6 +154,7 @@ func quantile(sorted []float64, q float64) float64 {
 // occupancy.
 type scrapeStats struct {
 	modelNames []string // sorted registry names; zero-valued counters are emitted for each
+	routes     []string // instrumented route labels; unhit ones emit zero-valued counters
 	cacheSize  int
 	cacheCap   int
 }
@@ -201,12 +202,21 @@ func (m *metrics) writePrometheus(w io.Writer, st scrapeStats) {
 
 	fmt.Fprintln(w, "# HELP bfserve_requests_total Completed HTTP requests by path and status code.")
 	fmt.Fprintln(w, "# TYPE bfserve_requests_total counter")
+	seenPath := make(map[string]bool, len(keys))
 	for i, k := range keys {
 		path, code := k, ""
 		if j := strings.LastIndexByte(k, '|'); j >= 0 {
 			path, code = k[:j], k[j+1:]
 		}
+		seenPath[path] = true
 		fmt.Fprintf(w, "bfserve_requests_total{path=%q,code=%q} %d\n", path, code, counts[i])
+	}
+	// Routes that have not been hit still expose a zero-valued series, so
+	// a rate() over any route is well-defined from the first scrape.
+	for _, route := range st.routes {
+		if !seenPath[route] {
+			fmt.Fprintf(w, "bfserve_requests_total{path=%q,code=\"200\"} 0\n", route)
+		}
 	}
 
 	sort.Float64s(window)

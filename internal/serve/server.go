@@ -20,15 +20,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"blackforest/internal/buildinfo"
 	"blackforest/internal/core"
 	"blackforest/internal/faults"
+	"blackforest/internal/obs"
 )
 
 // DefaultModelName is the registry name of the model behind the legacy
@@ -83,6 +87,18 @@ type Config struct {
 	// Faults optionally injects latency spikes and handler errors for
 	// chaos testing; nil serves faithfully.
 	Faults *faults.Injector
+	// AccessLog optionally receives one structured record per completed
+	// request (request id, method, path, status, duration); nil disables
+	// access logging. Logging never changes response bytes.
+	AccessLog *slog.Logger
+	// SlowRequest is the duration at which an access-logged request is
+	// escalated from Info to Warn with slow=true (0 = 1s).
+	SlowRequest time.Duration
+	// Extra optionally merges additional metric families into the
+	// /metrics scrape — e.g. run-cache counters registered with
+	// runcache.RegisterMetrics. The server renders it after its own
+	// families; callers must avoid reusing bfserve_* names it emits.
+	Extra *obs.Registry
 }
 
 // Server is the HTTP prediction service over a model registry.
@@ -108,6 +124,25 @@ type Server struct {
 	// requests so injection decisions are per-request deterministic.
 	faults *faults.Injector
 	reqID  atomic.Uint64
+
+	// accessLog receives one record per completed request (nil = off);
+	// requests slower than slowReq escalate to Warn. nextID numbers
+	// requests for the X-Request-ID header — separate from reqID so
+	// enabling access logs never shifts fault-injection decisions.
+	accessLog *slog.Logger
+	slowReq   time.Duration
+	nextID    atomic.Uint64
+
+	// obsReg holds the server's own registry-backed series (per-stage
+	// latency histograms); extra is the caller-provided registry merged
+	// into the scrape after it. stageQueue/stageCoalesce/stageInference
+	// split predict latency into pre-compute overhead, coalescer queueing,
+	// and model inference.
+	obsReg         *obs.Registry
+	extra          *obs.Registry
+	stageQueue     *obs.Histogram
+	stageCoalesce  *obs.Histogram
+	stageInference *obs.Histogram
 
 	// testHookPredict, when set, runs before each uncached prediction;
 	// tests use it to hold requests in flight across a shutdown.
@@ -150,6 +185,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BatchMaxSize <= 0 {
 		cfg.BatchMaxSize = 32
 	}
+	if cfg.SlowRequest <= 0 {
+		cfg.SlowRequest = time.Second
+	}
 	cacheCap := cfg.CacheSize
 	if cacheCap < 0 {
 		cacheCap = 0
@@ -165,7 +203,18 @@ func New(cfg Config) (*Server, error) {
 		batchWindow: cfg.BatchWindow,
 		batchMax:    cfg.BatchMaxSize,
 		faults:      cfg.Faults,
+		accessLog:   cfg.AccessLog,
+		slowReq:     cfg.SlowRequest,
+		obsReg:      obs.NewRegistry(),
+		extra:       cfg.Extra,
 	}
+	const stageHelp = "Predict latency split by stage: queue (pre-compute handler overhead), coalesce_wait (micro-batch queueing), inference (model compute)."
+	s.stageQueue = s.obsReg.Histogram("bfserve_stage_duration_seconds", stageHelp,
+		obs.DefaultLatencyBuckets, obs.Label{Name: "stage", Value: "queue"})
+	s.stageCoalesce = s.obsReg.Histogram("bfserve_stage_duration_seconds", stageHelp,
+		obs.DefaultLatencyBuckets, obs.Label{Name: "stage", Value: "coalesce_wait"})
+	s.stageInference = s.obsReg.Histogram("bfserve_stage_duration_seconds", stageHelp,
+		obs.DefaultLatencyBuckets, obs.Label{Name: "stage", Value: "inference"})
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -415,9 +464,11 @@ func (s *Server) predictCoalesced(ctx context.Context, snap *modelSnapshot, char
 		}
 	}
 	req := &coalesceReq{chars: chars, key: key, keyed: keyed, done: make(chan struct{})}
+	queued := time.Now()
 	snap.coal.enqueue(req)
 	select {
 	case <-req.done:
+		s.stageCoalesce.Observe(time.Since(queued).Seconds())
 		return req.p, false, req.err
 	case <-ctx.Done():
 		// The request's deadline fired while queued; the batch still
@@ -447,7 +498,9 @@ func (s *Server) drainBatch(snap *modelSnapshot, reqs []*coalesceReq) {
 	for i, rq := range reqs {
 		rows[i] = rq.chars
 	}
+	computeStart := time.Now()
 	times, counters, errs := snap.scaler.PredictDetailAll(rows)
+	s.stageInference.Observe(time.Since(computeStart).Seconds())
 	s.metrics.observeBatch(len(reqs))
 	for i, rq := range reqs {
 		if errs[i] != nil {
@@ -481,6 +534,7 @@ func (e *panicError) Error() string { return fmt.Sprintf("prediction panicked: %
 // its partial hits and misses are not recorded (bfserve_predictions_total is
 // a counter of answers served, not of internal model evaluations).
 func (s *Server) predictRows(ctx context.Context, snap *modelSnapshot, rows []map[string]float64) ([]Prediction, error) {
+	defer func(t0 time.Time) { s.stageInference.Observe(time.Since(t0).Seconds()) }(time.Now())
 	out := make([]Prediction, len(rows))
 	errs := make([]error, len(rows))
 	var hits, misses int64
@@ -552,6 +606,7 @@ func (s *Server) predictRows(ctx context.Context, snap *modelSnapshot, rows []ma
 // resolved once, up front: a hot reload mid-request swaps the registry, but
 // this request completes on the model it started with.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
 		return
@@ -600,6 +655,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	// Everything up to here — routing, shedding, chaos, decoding — is the
+	// request's queue stage; compute starts now.
+	s.stageQueue.Observe(time.Since(start).Seconds())
 	var preds []Prediction
 	if req.Chars != nil && snap.coal != nil {
 		// Single predicts coalesce into micro-batches when enabled.
@@ -775,23 +833,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleMetrics serves GET /metrics.
+// handleMetrics serves GET /metrics: the server's own counters, the
+// build-info gauge, the registry-backed stage histograms, and any extra
+// caller-provided registry, rendered as one Prometheus text scrape.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	snaps, _ := s.registry.list()
+	snaps, def := s.registry.list()
 	size := 0
+	engine := ""
 	names := make([]string, len(snaps))
 	for i, snap := range snaps {
 		names[i] = snap.name
 		if snap.cache != nil {
 			size += snap.cache.size()
 		}
+		if snap.name == def {
+			engine = snap.scaler.Meta().Engine
+		}
 	}
 	s.metrics.writePrometheus(w, scrapeStats{
 		modelNames: names,
+		routes:     serveRoutes[:],
 		cacheSize:  size,
 		cacheCap:   s.cacheN * len(snaps),
 	})
+	writeBuildInfo(w, engine)
+	s.obsReg.WritePrometheus(w)
+	if s.extra != nil {
+		s.extra.WritePrometheus(w)
+	}
+}
+
+// writeBuildInfo emits the constant-1 identity gauge: the binary's version
+// and VCS revision plus the default model's inference engine. The engine
+// label is resolved at scrape time so a hot reload that swaps engines (e.g.
+// pointer → flat(dict16)) shows up on the next scrape.
+func writeBuildInfo(w io.Writer, engine string) {
+	bi := buildinfo.Get("bfserve")
+	fmt.Fprintln(w, "# HELP bfserve_build_info Build and serving identity; the value is always 1.")
+	fmt.Fprintln(w, "# TYPE bfserve_build_info gauge")
+	fmt.Fprintf(w, "bfserve_build_info{version=%q,revision=%q,go=%q,engine=%q} 1\n",
+		bi.Version, bi.ShortRevision(), bi.GoVersion, engine)
 }
 
 // statusRecorder captures the response code for metrics.
@@ -805,13 +887,40 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency recording.
+// instrument wraps a handler with request identification, counting, latency
+// recording, and (when configured) structured access logging. Every response
+// carries an X-Request-ID header — the client's own, when it sent one, else
+// a server-assigned sequence number — correlating responses with log lines.
+// Only headers change: response bodies stay byte-identical whether or not
+// logging is enabled.
 func (s *Server) instrument(path string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = "bfserve-" + strconv.FormatUint(s.nextID.Add(1), 10)
+		}
+		w.Header().Set("X-Request-ID", id)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h.ServeHTTP(rec, r)
-		s.metrics.observe(path, rec.code, time.Since(start))
+		d := time.Since(start)
+		s.metrics.observe(path, rec.code, d)
+		if s.accessLog != nil {
+			slow := d >= s.slowReq
+			level := slog.LevelInfo
+			if slow {
+				level = slog.LevelWarn
+			}
+			s.accessLog.LogAttrs(r.Context(), level, "request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.code),
+				slog.Duration("duration", d),
+				slog.Bool("slow", slow),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
 	})
 }
 
@@ -832,6 +941,14 @@ func (s *Server) recovered(h http.Handler) http.Handler {
 		}()
 		h.ServeHTTP(w, r)
 	})
+}
+
+// serveRoutes are the instrumented route labels, in registration order.
+// /metrics emits a zero-valued request counter for any route that has not
+// been hit yet, so dashboards see the full route set from the first scrape.
+var serveRoutes = [...]string{
+	"/v1/predict", "/v1/model", "/v1/models/predict", "/v1/models/model",
+	"/v1/models", "/healthz", "/metrics",
 }
 
 // Handler returns the service's HTTP handler: the prediction endpoints are
