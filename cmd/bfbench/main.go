@@ -83,7 +83,7 @@ type benchExperiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2..fig8, power, ladder, transpose, histogram, predict, or all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2..fig8, power, ladder, transpose, histogram, optimize, predict, or all")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvdir := flag.String("csvdir", "", "directory for CSV series output (optional)")
@@ -133,7 +133,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "power", "ladder", "transpose", "histogram", "predict"}
+		names = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "power", "ladder", "transpose", "histogram", "optimize", "predict"}
 	} else {
 		names = strings.Split(*exp, ",")
 		for i := range names {
@@ -405,6 +405,12 @@ func run(name string, opts experiments.Options, csvdir string, w io.Writer) erro
 		return res.Render(w)
 	case "ladder":
 		res, err := experiments.RunReductionLadder(opts)
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
+	case "optimize":
+		res, err := experiments.RunOptimizer(opts)
 		if err != nil {
 			return err
 		}

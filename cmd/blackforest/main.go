@@ -26,6 +26,7 @@ import (
 	"blackforest/internal/faults"
 	"blackforest/internal/gpusim"
 	"blackforest/internal/kernels"
+	"blackforest/internal/optimize"
 	"blackforest/internal/profiler"
 	"blackforest/internal/report"
 )
@@ -49,6 +50,11 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for a failed profiling run (with -faults)")
 	completeness := flag.Float64("completeness", core.DefaultMinCompleteness, "column completeness threshold for degraded collections: lower columns are dropped, higher are mean-imputed")
 	explain := flag.Bool("explain", false, "print the simulator's cycle-accounting bottleneck breakdown for the kernel at its largest sweep size, then exit")
+	optimizeFlag := flag.Bool("optimize", false, "classify the kernel's bottleneck regime and run the guarded launch-config search at its largest sweep size, then exit")
+	transforms := flag.String("transforms", "", `with -optimize: restrict the search to a comma-separated transformation menu, e.g. "tile=32,unroll=4" (empty = full domains)`)
+	minGain := flag.Float64("min-gain", optimize.DefaultMinGainPct, "with -optimize: validated cycle improvement (percent) required to accept a transformation")
+	optSteps := flag.Int("opt-steps", optimize.DefaultMaxSteps, "with -optimize: maximum accepted transformations")
+	optLog := flag.String("opt-log", "", "with -optimize: write the JSON decision log to this file")
 	version := flag.Bool("version", false, "print version and build info, then exit")
 	flag.Parse()
 
@@ -58,6 +64,17 @@ func main() {
 	}
 	if *explain {
 		if err := explainKernel(*kernel, *device, *sweep, *seed, *simBlocks); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *optimizeFlag {
+		if err := optimizeKernel(optimizeArgs{
+			kernel: *kernel, device: *device, sweep: *sweep,
+			seed: *seed, simBlocks: *simBlocks, cacheDir: *cacheDir,
+			transforms: *transforms, minGain: *minGain, maxSteps: *optSteps,
+			logPath: *optLog,
+		}); err != nil {
 			fatal(err)
 		}
 		return
@@ -287,27 +304,7 @@ func explainKernel(kernel, device, sweep string, seed uint64, simBlocks int) err
 
 	fmt.Printf("cycle accounting: %s on %s (size %.0f, %d launches, %.4g modeled cycles)\n\n",
 		prof.Workload, prof.Device, prof.Characteristics["size"], prof.Launches, prof.Cycles)
-	b := prof.Breakdown
-	cats := []struct {
-		name   string
-		cycles float64
-	}{
-		{"issue/arithmetic", b.IssueCycles},
-		{"memory latency/bandwidth", b.MemLatencyCycles},
-		{"barrier wait", b.BarrierCycles},
-		{"shared-memory replay", b.SharedReplayCycles},
-		{"uncoalesced transactions", b.UncoalescedCycles},
-		{"atomic serialization", b.AtomicCycles},
-	}
-	rows := make([][]string, 0, len(cats))
-	for _, c := range cats {
-		share := 0.0
-		if prof.Cycles > 0 {
-			share = 100 * c.cycles / prof.Cycles
-		}
-		rows = append(rows, []string{c.name, fmt.Sprintf("%.4g", c.cycles), fmt.Sprintf("%.1f%%", share)})
-	}
-	if err := report.Table(os.Stdout, []string{"category", "cycles", "share"}, rows); err != nil {
+	if err := optimize.RenderBreakdown(os.Stdout, &prof.Breakdown, prof.Cycles); err != nil {
 		return err
 	}
 
@@ -318,6 +315,85 @@ func explainKernel(kernel, device, sweep string, seed uint64, simBlocks int) err
 		}
 	}
 	fmt.Printf("dominant: %s\n", prof.DominantBottleneck())
+	return nil
+}
+
+// optimizeArgs carries the -optimize flag set.
+type optimizeArgs struct {
+	kernel, device, sweep string
+	seed                  uint64
+	simBlocks             int
+	cacheDir              string
+	transforms            string
+	minGain               float64
+	maxSteps              int
+	logPath               string
+}
+
+// optimizeKernel classifies the kernel's bottleneck regime at the largest
+// size of its sweep and runs the guarded launch-configuration search:
+// candidates are scored at low fidelity, validated at the -simblocks
+// fidelity, and accepted only for validated cycle gains above -min-gain.
+// With -cache-dir every candidate simulation is served from (and feeds)
+// the content-addressed run cache, so repeating a search is pure cache
+// hits; with -opt-log the full decision log is written as JSON.
+func optimizeKernel(a optimizeArgs) error {
+	dev, err := gpusim.LookupDevice(a.device)
+	if err != nil {
+		return err
+	}
+	runs, err := buildSweep(a.kernel, a.sweep, a.seed)
+	if err != nil {
+		return err
+	}
+	w, ok := runs[len(runs)-1].(optimize.Tunable)
+	if !ok {
+		return fmt.Errorf("kernel %q has no tunable launch parameters", a.kernel)
+	}
+	menu, err := optimize.ParseTransforms(a.transforms)
+	if err != nil {
+		return err
+	}
+	cfg := optimize.Config{
+		Device:            dev,
+		ValidateSimBlocks: a.simBlocks,
+		MinGainPct:        a.minGain,
+		MaxSteps:          a.maxSteps,
+		Transforms:        menu,
+		Seed:              a.seed,
+	}
+	if a.cacheDir != "" {
+		cfg.Cache, err = profiler.NewRunCache(a.cacheDir, 0)
+		if err != nil {
+			return err
+		}
+	}
+	res, err := optimize.Optimize(w, cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	if cfg.Cache != nil {
+		s := cfg.Cache.Stats()
+		fmt.Printf("\nrun cache %s: %d hits, %d misses (%.0f%% hit rate)\n",
+			a.cacheDir, s.Hits(), s.Misses, 100*s.HitRate())
+	}
+	if a.logPath != "" {
+		f, err := os.Create(a.logPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteLog(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("decision log written to %s\n", a.logPath)
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"blackforest/internal/obs"
@@ -31,8 +32,9 @@ func TestTracingIsBitIdentical(t *testing.T) {
 	}
 
 	plain := render(nil)
-	var clock int64
-	tracer := obs.NewTracer(func() int64 { clock += 1000; return clock })
+	// The clock is called from concurrent worker goroutines' spans.
+	var clock atomic.Int64
+	tracer := obs.NewTracer(func() int64 { return clock.Add(1000) })
 	traced := render(tracer)
 
 	if !bytes.Equal(plain, traced) {
@@ -78,8 +80,8 @@ func TestTracingIsBitIdentical(t *testing.T) {
 // TestEngineCacheHitsTraced checks that a warm rerun shows up as cache-hit
 // instants rather than simulate spans.
 func TestEngineCacheHitsTraced(t *testing.T) {
-	var clock int64
-	tracer := obs.NewTracer(func() int64 { clock += 1000; return clock })
+	var clock atomic.Int64
+	tracer := obs.NewTracer(func() int64 { return clock.Add(1000) })
 	engine, err := NewEngine(EngineConfig{Workers: 2, Tracer: tracer})
 	if err != nil {
 		t.Fatal(err)

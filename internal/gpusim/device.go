@@ -183,6 +183,23 @@ func (d *Device) BytesPerCycle() float64 {
 	return d.MemBandwidthGBps / d.ClockGHz
 }
 
+// PeakGOps returns the device-wide peak thread-op throughput in billions
+// of thread-level operations per second (one op per CUDA core per cycle) —
+// the compute ceiling of the roofline the optimizer places kernels on. The
+// unit matches the simulator's thread-op counters (an FMA counts once), so
+// achieved/peak ratios are directly comparable.
+func (d *Device) PeakGOps() float64 {
+	return float64(d.SMs*d.CoresPerSM) * d.ClockGHz
+}
+
+// RidgeOpsPerByte returns the roofline ridge point: the arithmetic
+// intensity (thread ops per DRAM byte) at which the compute and memory
+// ceilings intersect. Kernels below the ridge are memory-bandwidth-limited
+// at best; kernels above it can reach the compute ceiling.
+func (d *Device) RidgeOpsPerByte() float64 {
+	return d.PeakGOps() / d.MemBandwidthGBps
+}
+
 // HardwareMetrics returns the machine-characteristic variables injected
 // into the training data for hardware scaling (§6.2, Table 2), keyed by the
 // short names the paper uses.

@@ -42,9 +42,45 @@ type Histogram struct {
 // Name implements profiler.Workload.
 func (h *Histogram) Name() string { return fmt.Sprintf("histogram%d", h.Variant) }
 
-// Characteristics implements profiler.Workload.
+// Characteristics implements profiler.Workload. A non-default block size
+// (the optimizer's transformation) joins the identity so transformed runs
+// never share a noise seed or cache key with the baseline; at the default
+// it is omitted, keeping every existing run's identity — and therefore
+// every existing profile — bit-identical.
 func (h *Histogram) Characteristics() map[string]float64 {
-	return map[string]float64{"size": float64(h.N), "skew": h.Skew}
+	c := map[string]float64{"size": float64(h.N), "skew": h.Skew}
+	if h.BlockSize != 0 && h.BlockSize != 256 {
+		c["block_size"] = float64(h.BlockSize)
+	}
+	return c
+}
+
+// Params implements the optimizer's Tunable contract: the launch-config
+// parameters a search may transform, at their effective values.
+func (h *Histogram) Params() map[string]int {
+	bs := h.BlockSize
+	if bs == 0 {
+		bs = 256
+	}
+	return map[string]int{"block_size": bs}
+}
+
+// ParamDomain implements the optimizer's Tunable contract.
+func (h *Histogram) ParamDomain(name string) []int {
+	if name == "block_size" {
+		return []int{64, 128, 256, 512, 1024}
+	}
+	return nil
+}
+
+// WithParam implements the optimizer's Tunable contract: a fresh,
+// unplanned copy of the workload with one parameter changed.
+func (h *Histogram) WithParam(name string, value int) (profiler.Workload, error) {
+	if name != "block_size" {
+		return nil, fmt.Errorf("kernels: histogram has no parameter %q", name)
+	}
+	return &Histogram{Variant: h.Variant, N: h.N, BlockSize: value,
+		Skew: h.Skew, Seed: h.Seed}, nil
 }
 
 // InputSeed implements profiler.InputSeeded: repeated runs at the same

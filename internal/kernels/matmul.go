@@ -18,6 +18,13 @@ type MatMul struct {
 	N int
 	// Tile is the tile edge b (SDK BLOCK_SIZE, default 16).
 	Tile int
+	// Unroll is the explicit unroll factor of the inner product loop.
+	// 0 (the default) models the SDK kernel's fully unrolled loop; an
+	// explicit factor u in {1, 2, 4, 8} spends a loop-control op every u
+	// iterations but holds fewer values live, shrinking the per-thread
+	// register footprint — the classic unroll/occupancy trade the
+	// optimizer searches over.
+	Unroll int
 	// Seed generates the input matrices.
 	Seed uint64
 
@@ -27,9 +34,60 @@ type MatMul struct {
 // Name implements profiler.Workload.
 func (m *MatMul) Name() string { return "matmul" }
 
-// Characteristics implements profiler.Workload.
+// Characteristics implements profiler.Workload. Non-default tile and
+// unroll settings (the optimizer's transformations) join the identity so
+// transformed runs never share a noise seed or cache key with the
+// baseline; at the defaults they are omitted, keeping every existing
+// run's identity — and therefore every existing profile — bit-identical.
 func (m *MatMul) Characteristics() map[string]float64 {
-	return map[string]float64{"size": float64(m.N)}
+	c := map[string]float64{"size": float64(m.N)}
+	if m.Tile != 0 && m.Tile != 16 {
+		c["tile"] = float64(m.Tile)
+	}
+	if m.Unroll != 0 {
+		c["unroll"] = float64(m.Unroll)
+	}
+	return c
+}
+
+// Params implements the optimizer's Tunable contract: the launch-config
+// parameters a search may transform, at their effective values.
+func (m *MatMul) Params() map[string]int {
+	t := m.Tile
+	if t == 0 {
+		t = 16
+	}
+	return map[string]int{"tile": t, "unroll": m.Unroll}
+}
+
+// ParamDomain implements the optimizer's Tunable contract. unroll 0 is
+// the compiler's full unroll.
+func (m *MatMul) ParamDomain(name string) []int {
+	switch name {
+	case "tile":
+		return []int{16, 32}
+	case "unroll":
+		return []int{0, 1, 2, 4, 8}
+	}
+	return nil
+}
+
+// WithParam implements the optimizer's Tunable contract: a fresh,
+// unplanned copy of the workload with one parameter changed.
+func (m *MatMul) WithParam(name string, value int) (profiler.Workload, error) {
+	c := &MatMul{N: m.N, Tile: m.Tile, Unroll: m.Unroll, Seed: m.Seed}
+	switch name {
+	case "tile":
+		if m.N%value != 0 {
+			return nil, fmt.Errorf("kernels: matmul size %d is not a multiple of tile %d", m.N, value)
+		}
+		c.Tile = value
+	case "unroll":
+		c.Unroll = value
+	default:
+		return nil, fmt.Errorf("kernels: matmul has no parameter %q", name)
+	}
+	return c, nil
 }
 
 // InputSeed implements profiler.InputSeeded: repeated runs at the same
@@ -75,6 +133,11 @@ func (m *MatMul) Plan(dev *gpusim.Device) ([]profiler.Launch, error) {
 	if m.N <= 0 || m.N%m.Tile != 0 {
 		return nil, fmt.Errorf("kernels: matmul size %d must be a positive multiple of tile %d", m.N, m.Tile)
 	}
+	switch m.Unroll {
+	case 0, 1, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("kernels: matmul unroll %d must be 0 (full), 1, 2, 4, or 8", m.Unroll)
+	}
 	n := m.N
 	m.a = make([]float32, n*n)
 	m.b = make([]float32, n*n)
@@ -85,10 +148,17 @@ func (m *MatMul) Plan(dev *gpusim.Device) ([]profiler.Launch, error) {
 	}
 
 	grid := n / m.Tile
+	// Full unrolling (the default) keeps every partial product live: 20
+	// registers, as the SDK kernel compiles. An explicit unroll factor
+	// holds fewer values and needs less.
+	regs := 20
+	if m.Unroll > 0 && m.Unroll < m.Tile {
+		regs = 16 + m.Unroll/2
+	}
 	cfg := gpusim.LaunchConfig{
 		GridDimX: grid, GridDimY: grid,
 		BlockDimX: m.Tile, BlockDimY: m.Tile,
-		RegsPerThread:     20,
+		RegsPerThread:     regs,
 		SharedMemPerBlock: 2 * 4 * m.Tile * m.Tile,
 	}
 	return []profiler.Launch{{
@@ -103,6 +173,7 @@ func (m *MatMul) Plan(dev *gpusim.Device) ([]profiler.Launch, error) {
 func (m *MatMul) kernel() gpusim.KernelFunc {
 	n := m.N
 	b := m.Tile
+	unroll := m.Unroll // 0 = fully unrolled: no loop-control overhead
 	a, bm, c := m.a, m.b, m.c
 	return func(w *gpusim.Warp) {
 		bx, by := w.BlockIdx()
@@ -143,6 +214,9 @@ func (m *MatMul) kernel() gpusim.KernelFunc {
 			w.Sync()
 
 			for k := 0; k < b; k++ {
+				if unroll > 0 && unroll < b && k%unroll == 0 {
+					w.IntOps(full, 1) // loop counter + branch per unroll group
+				}
 				aOff := laneInts(func(l int) int { return ty[l]*b + k })
 				bOff := laneInts(func(l int) int { return k*b + tx[l] })
 				ao := offs4(&aOff)

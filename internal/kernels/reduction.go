@@ -45,12 +45,73 @@ type Reduction struct {
 func (r *Reduction) Name() string { return fmt.Sprintf("reduce%d", r.Variant) }
 
 // Characteristics implements profiler.Workload: the problem parameters the
-// paper injects as predictors alongside the counters.
+// paper injects as predictors alongside the counters. A non-default grid
+// cap (the optimizer's max_blocks transformation) joins the identity so
+// transformed runs never share a noise seed or cache key with the
+// baseline; at the default it is omitted, keeping every existing run's
+// identity — and therefore every existing profile — bit-identical.
 func (r *Reduction) Characteristics() map[string]float64 {
-	return map[string]float64{
+	c := map[string]float64{
 		"size":       float64(r.N),
 		"block_size": float64(r.BlockSize),
 	}
+	if r.MaxBlocks != 0 && r.MaxBlocks != defaultReduceMaxBlocks {
+		c["max_blocks"] = float64(r.MaxBlocks)
+	}
+	return c
+}
+
+// defaultReduceMaxBlocks is the SDK driver's grid cap for variant 6.
+const defaultReduceMaxBlocks = 64
+
+// Params implements the optimizer's Tunable contract: the launch-config
+// parameters a search may transform, at their effective values.
+func (r *Reduction) Params() map[string]int {
+	bs := r.BlockSize
+	if bs == 0 {
+		bs = 256
+	}
+	p := map[string]int{"block_size": bs}
+	if r.Variant == 6 {
+		mb := r.MaxBlocks
+		if mb == 0 {
+			mb = defaultReduceMaxBlocks
+		}
+		p["max_blocks"] = mb
+	}
+	return p
+}
+
+// ParamDomain implements the optimizer's Tunable contract.
+func (r *Reduction) ParamDomain(name string) []int {
+	switch name {
+	case "block_size":
+		return []int{64, 128, 256, 512, 1024}
+	case "max_blocks":
+		if r.Variant == 6 {
+			return []int{32, 64, 128, 256}
+		}
+	}
+	return nil
+}
+
+// WithParam implements the optimizer's Tunable contract: a fresh,
+// unplanned copy of the workload with one parameter changed.
+func (r *Reduction) WithParam(name string, value int) (profiler.Workload, error) {
+	c := &Reduction{Variant: r.Variant, N: r.N, BlockSize: r.BlockSize,
+		MaxBlocks: r.MaxBlocks, Seed: r.Seed}
+	switch name {
+	case "block_size":
+		c.BlockSize = value
+	case "max_blocks":
+		if r.Variant != 6 {
+			return nil, fmt.Errorf("kernels: reduce%d has no max_blocks parameter", r.Variant)
+		}
+		c.MaxBlocks = value
+	default:
+		return nil, fmt.Errorf("kernels: reduction has no parameter %q", name)
+	}
+	return c, nil
 }
 
 // InputSeed implements profiler.InputSeeded: repeated runs at the same

@@ -1,0 +1,142 @@
+package optimize
+
+import (
+	"fmt"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/profiler"
+)
+
+// Regime labels the bottleneck regime of a profiled kernel — the coarse
+// diagnosis that selects which launch-config transformations are worth
+// trying. It combines the simulator's exact cycle accounting (the
+// PinTotal'd breakdown shares) with achieved occupancy and the kernel's
+// roofline position, so the same evidence the paper's statistical
+// pipeline recovers from counters is here read off directly.
+type Regime string
+
+const (
+	// RegimeMemBandwidth: memory cycles dominate and the run already
+	// draws a large fraction of peak DRAM bandwidth — the bandwidth roof
+	// itself binds; only traffic reduction helps.
+	RegimeMemBandwidth Regime = "memory-bandwidth-bound"
+	// RegimeLatency: memory cycles dominate but bandwidth is far from
+	// peak at reasonable occupancy — exposed latency, not throughput.
+	RegimeLatency Regime = "latency-bound"
+	// RegimeUnderOccupied: memory cycles dominate, bandwidth is far from
+	// peak, and occupancy is too low to cover latency — more resident
+	// warps (block geometry, register pressure) are the lever.
+	RegimeUnderOccupied Regime = "under-occupied"
+	// RegimeReplay: shared-memory bank-conflict replays or uncoalesced
+	// transaction splits consume a large cycle share.
+	RegimeReplay Regime = "divergence/replay-limited"
+	// RegimeAtomic: atomic serialization consumes a large cycle share.
+	RegimeAtomic Regime = "atomic-limited"
+	// RegimeCompute: none of the stall categories dominate — issue and
+	// arithmetic cycles do.
+	RegimeCompute Regime = "compute-bound"
+)
+
+// Classification thresholds. Shares are fractions of total modeled
+// cycles (the breakdown is a PinTotal'd partition, so shares sum to 1).
+const (
+	// atomicShareMin flags atomic serialization as the regime.
+	atomicShareMin = 0.20
+	// replayShareMin flags replay (bank conflicts + uncoalesced splits).
+	replayShareMin = 0.20
+	// memShareMin is the memory-cycle share above which the kernel is in
+	// one of the three memory regimes.
+	memShareMin = 0.40
+	// bwBoundUtilMin: at or above this fraction of peak DRAM bandwidth,
+	// memory dominance means the bandwidth roof itself.
+	bwBoundUtilMin = 0.50
+	// lowOccupancy separates under-occupied from plain latency-bound.
+	lowOccupancy = 0.35
+)
+
+// Classification is the regime diagnosis for one profiled run.
+type Classification struct {
+	Regime Regime `json:"regime"`
+	// Roofline and Point give the device model and the run's position
+	// under it.
+	Roofline Roofline `json:"roofline"`
+	Point    Point    `json:"point"`
+	// Shares are the breakdown's cycle fractions by category, in the
+	// fixed category order of BreakdownCategories.
+	Shares map[string]float64 `json:"shares"`
+	// Occupancy is the run's achieved occupancy metric.
+	Occupancy float64 `json:"occupancy"`
+	// BandwidthUtil is achieved DRAM throughput over the device peak.
+	BandwidthUtil float64 `json:"bandwidth_util"`
+	// Why is a one-line justification citing the evidence.
+	Why string `json:"why"`
+}
+
+// Classify diagnoses the bottleneck regime of one profile on one device.
+func Classify(dev *gpusim.Device, p *profiler.Profile) Classification {
+	rl := NewRoofline(dev)
+	pt := rl.Place(p)
+	c := Classification{
+		Roofline:      rl,
+		Point:         pt,
+		Occupancy:     p.Metrics["achieved_occupancy"],
+		BandwidthUtil: pt.AchievedGBps / rl.PeakGBps,
+		Shares:        make(map[string]float64, 6),
+	}
+	b := p.Breakdown
+	total := p.Cycles
+	share := func(v float64) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return v / total
+	}
+	for _, cat := range BreakdownCategories(&b) {
+		c.Shares[cat.Name] = share(cat.Cycles)
+	}
+	atomic := share(b.AtomicCycles)
+	replay := share(b.SharedReplayCycles + b.UncoalescedCycles)
+	mem := share(b.MemLatencyCycles)
+
+	switch {
+	case atomic >= atomicShareMin:
+		c.Regime = RegimeAtomic
+		c.Why = fmt.Sprintf("atomic serialization takes %.0f%% of cycles", 100*atomic)
+	case replay >= replayShareMin:
+		c.Regime = RegimeReplay
+		c.Why = fmt.Sprintf("replays (bank conflicts + uncoalesced splits) take %.0f%% of cycles", 100*replay)
+	case mem >= memShareMin && c.BandwidthUtil >= bwBoundUtilMin:
+		c.Regime = RegimeMemBandwidth
+		c.Why = fmt.Sprintf("memory takes %.0f%% of cycles at %.0f%% of peak DRAM bandwidth", 100*mem, 100*c.BandwidthUtil)
+	case mem >= memShareMin && c.Occupancy < lowOccupancy:
+		c.Regime = RegimeUnderOccupied
+		c.Why = fmt.Sprintf("memory takes %.0f%% of cycles at only %.0f%% of peak bandwidth with occupancy %.2f", 100*mem, 100*c.BandwidthUtil, c.Occupancy)
+	case mem >= memShareMin:
+		c.Regime = RegimeLatency
+		c.Why = fmt.Sprintf("memory takes %.0f%% of cycles at only %.0f%% of peak bandwidth despite occupancy %.2f", 100*mem, 100*c.BandwidthUtil, c.Occupancy)
+	default:
+		c.Regime = RegimeCompute
+		c.Why = fmt.Sprintf("issue/arithmetic dominates (memory %.0f%%, replay %.0f%%, atomics %.0f%%)", 100*mem, 100*replay, 100*atomic)
+	}
+	return c
+}
+
+// BreakdownCategory is one row of the cycle-accounting table: a fixed
+// human-readable category name and its cycle count.
+type BreakdownCategory struct {
+	Name   string
+	Cycles float64
+}
+
+// BreakdownCategories flattens a breakdown into the fixed category order
+// every report uses (the same order and names as blackforest -explain).
+func BreakdownCategories(b *gpusim.BottleneckBreakdown) []BreakdownCategory {
+	return []BreakdownCategory{
+		{"issue/arithmetic", b.IssueCycles},
+		{"memory latency/bandwidth", b.MemLatencyCycles},
+		{"barrier wait", b.BarrierCycles},
+		{"shared-memory replay", b.SharedReplayCycles},
+		{"uncoalesced transactions", b.UncoalescedCycles},
+		{"atomic serialization", b.AtomicCycles},
+	}
+}

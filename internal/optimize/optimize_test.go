@@ -1,0 +1,344 @@
+package optimize
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/kernels"
+	"blackforest/internal/profiler"
+	"blackforest/internal/runcache"
+)
+
+func gtx580(t *testing.T) *gpusim.Device {
+	t.Helper()
+	dev, err := gpusim.LookupDevice("GTX580")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// detuned is the standard test subject: a mis-configured final reduction
+// the search reliably improves.
+func detuned(seed uint64) *kernels.Reduction {
+	return &kernels.Reduction{Variant: 6, N: 1 << 18, BlockSize: 64, MaxBlocks: 32, Seed: seed}
+}
+
+func testConfig(dev *gpusim.Device) Config {
+	return Config{Device: dev, SearchSimBlocks: 4, ValidateSimBlocks: 8, Seed: 1}
+}
+
+// TestOptimizeFindsImprovement: the guarded search recovers a detuned
+// launch configuration on both device models.
+func TestOptimizeFindsImprovement(t *testing.T) {
+	for _, devName := range []string{"GTX580", "K20m"} {
+		dev, err := gpusim.LookupDevice(devName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Optimize(detuned(1), testConfig(dev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted < 1 {
+			t.Fatalf("%s: no accepted improvement (decisions: %+v)", devName, res.Decisions)
+		}
+		if res.GainPct <= 0 {
+			t.Fatalf("%s: gain %.2f%%, want positive", devName, res.GainPct)
+		}
+	}
+}
+
+// TestOptimizeDeterministic: the same seed yields a byte-identical
+// decision log, run to run.
+func TestOptimizeDeterministic(t *testing.T) {
+	dev := gtx580(t)
+	var logs [2]bytes.Buffer
+	for i := range logs {
+		res, err := Optimize(detuned(1), testConfig(dev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteLog(&logs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(logs[0].Bytes(), logs[1].Bytes()) {
+		t.Fatalf("decision logs differ between identical runs:\n%s\n----\n%s", logs[0].String(), logs[1].String())
+	}
+}
+
+// TestOptimizeNeverRegresses: across the kernel suite, the final
+// configuration's validated cycles never exceed the baseline's, and every
+// accepted decision individually clears the threshold.
+func TestOptimizeNeverRegresses(t *testing.T) {
+	dev := gtx580(t)
+	suite := []Tunable{
+		&kernels.MatMul{N: 256, Seed: 1},
+		detuned(1),
+		&kernels.Transpose{Variant: 0, N: 512, Seed: 1},
+		&kernels.Histogram{Variant: 1, N: 1 << 18, BlockSize: 64, Seed: 1},
+		&kernels.Reduction{Variant: 3, N: 1 << 18, BlockSize: 256, Seed: 1},
+	}
+	for _, w := range suite {
+		res, err := Optimize(w, testConfig(dev))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if res.Final.Cycles > res.Baseline.Cycles {
+			t.Errorf("%s: final %.6g cycles exceeds baseline %.6g", w.Name(), res.Final.Cycles, res.Baseline.Cycles)
+		}
+		if res.GainPct < 0 {
+			t.Errorf("%s: negative gain %.2f%%", w.Name(), res.GainPct)
+		}
+		for _, d := range res.Decisions {
+			if d.Outcome == OutcomeAccepted && d.ValidatedGainPct < res.MinGainPct {
+				t.Errorf("%s: accepted %s with validated gain %.2f%% below threshold %.2f%%",
+					w.Name(), d.Transform, d.ValidatedGainPct, res.MinGainPct)
+			}
+			if d.Outcome == OutcomeRolledBack && d.ValidatedGainPct >= res.MinGainPct {
+				t.Errorf("%s: rolled back %s despite validated gain %.2f%%",
+					w.Name(), d.Transform, d.ValidatedGainPct)
+			}
+		}
+	}
+}
+
+// fakeTunable is a synthetic workload for white-box search tests: one
+// parameter x, with search/validation cycle tables injected via Config.
+type fakeTunable struct {
+	x      int
+	domain []int
+}
+
+func (f *fakeTunable) Name() string { return "fake" }
+func (f *fakeTunable) Characteristics() map[string]float64 {
+	return map[string]float64{"x": float64(f.x)}
+}
+func (f *fakeTunable) Plan(dev *gpusim.Device) ([]profiler.Launch, error) {
+	return nil, fmt.Errorf("fakeTunable must not be simulated")
+}
+func (f *fakeTunable) Params() map[string]int { return map[string]int{"x": f.x} }
+func (f *fakeTunable) ParamDomain(name string) []int {
+	if name == "x" {
+		return f.domain
+	}
+	return nil
+}
+func (f *fakeTunable) WithParam(name string, value int) (profiler.Workload, error) {
+	if name != "x" {
+		return nil, fmt.Errorf("no parameter %q", name)
+	}
+	return &fakeTunable{x: value, domain: f.domain}, nil
+}
+
+func stubRun(cost map[int]float64) func(profiler.Workload) (*profiler.Profile, error) {
+	return func(w profiler.Workload) (*profiler.Profile, error) {
+		f := w.(*fakeTunable)
+		c, ok := cost[f.x]
+		if !ok {
+			return nil, fmt.Errorf("no cost for x=%d", f.x)
+		}
+		return &profiler.Profile{Workload: "fake", Cycles: c}, nil
+	}
+}
+
+// TestOptimizeRollback forces the two fidelities to disagree: x=2 looks
+// 20%% better at search fidelity but regresses at validation fidelity, so
+// it must be rolled back (incumbent kept, transform banned) and the
+// honestly-better x=3 accepted instead.
+func TestOptimizeRollback(t *testing.T) {
+	dev := gtx580(t)
+	cfg := Config{
+		Device:      dev,
+		MinGainPct:  1.0,
+		searchRun:   stubRun(map[int]float64{1: 1000, 2: 800, 3: 950}),
+		validateRun: stubRun(map[int]float64{1: 1000, 2: 1100, 3: 970}),
+	}
+	res, err := Optimize(&fakeTunable{x: 1, domain: []int{1, 2, 3}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RolledBack != 1 {
+		t.Fatalf("rolled back %d candidates, want 1 (decisions: %+v)", res.RolledBack, res.Decisions)
+	}
+	d0 := res.Decisions[0]
+	if d0.Transform != (Transform{"x", 2}) || d0.Outcome != OutcomeRolledBack {
+		t.Fatalf("first decision = %+v, want x=2 rolled-back", d0)
+	}
+	if d0.ValidatedCycles != 1100 {
+		t.Fatalf("rollback validated cycles = %v, want 1100", d0.ValidatedCycles)
+	}
+	d1 := res.Decisions[1]
+	if d1.Transform != (Transform{"x", 3}) || d1.Outcome != OutcomeAccepted {
+		t.Fatalf("second decision = %+v, want x=3 accepted", d1)
+	}
+	if res.Final.Params["x"] != 3 || res.Final.Cycles != 970 {
+		t.Fatalf("final = %v @ %v cycles, want x=3 @ 970", res.Final.Params, res.Final.Cycles)
+	}
+	// The rolled-back transform must not be retried in later steps.
+	for _, d := range res.Decisions[2:] {
+		if d.Transform == (Transform{"x", 2}) {
+			t.Fatalf("banned transform retried: %+v", d)
+		}
+	}
+}
+
+// TestOptimizeAllRegress: when every candidate regresses at validation,
+// the baseline must survive untouched.
+func TestOptimizeAllRegress(t *testing.T) {
+	dev := gtx580(t)
+	cfg := Config{
+		Device:      dev,
+		MinGainPct:  1.0,
+		searchRun:   stubRun(map[int]float64{1: 1000, 2: 700, 3: 600}),
+		validateRun: stubRun(map[int]float64{1: 1000, 2: 1400, 3: 1600}),
+	}
+	res, err := Optimize(&fakeTunable{x: 1, domain: []int{1, 2, 3}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 0 || res.RolledBack != 2 {
+		t.Fatalf("accepted=%d rolledback=%d, want 0 and 2", res.Accepted, res.RolledBack)
+	}
+	if res.Final.Params["x"] != 1 || res.Final.Cycles != 1000 {
+		t.Fatalf("final = %v @ %v, want untouched baseline x=1 @ 1000", res.Final.Params, res.Final.Cycles)
+	}
+	if res.GainPct != 0 {
+		t.Fatalf("gain = %v, want 0", res.GainPct)
+	}
+}
+
+// TestOptimizeCacheDifferential: a second identical search is served
+// entirely from the run cache — zero new simulations — and produces the
+// identical decision log.
+func TestOptimizeCacheDifferential(t *testing.T) {
+	dev := gtx580(t)
+	cache, err := profiler.NewRunCache("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(dev)
+	cfg.Cache = cache
+
+	var logs [2]bytes.Buffer
+	var stats [2]runcache.Stats
+	for i := range logs {
+		res, err := Optimize(detuned(1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteLog(&logs[i]); err != nil {
+			t.Fatal(err)
+		}
+		stats[i] = cache.Stats()
+	}
+	if stats[1].Misses != stats[0].Misses {
+		t.Fatalf("second search simulated %d new runs, want 0 (100%% hit rate)", stats[1].Misses-stats[0].Misses)
+	}
+	if stats[1].Hits() <= stats[0].Hits() {
+		t.Fatalf("second search recorded no cache hits (stats %+v -> %+v)", stats[0], stats[1])
+	}
+	if !bytes.Equal(logs[0].Bytes(), logs[1].Bytes()) {
+		t.Fatal("cache-served search produced a different decision log")
+	}
+}
+
+// TestRunKeySensitivity: every transformed configuration of every
+// tunable kernel has a run key distinct from the baseline's and from
+// every other transform's — the property that makes candidate caching
+// sound.
+func TestRunKeySensitivity(t *testing.T) {
+	dev := gtx580(t)
+	p := profiler.New(dev, profiler.Options{MaxSimBlocks: 8, NoiseSigma: -1})
+	suite := []Tunable{
+		&kernels.MatMul{N: 256, Seed: 1},
+		&kernels.Reduction{Variant: 6, N: 1 << 18, BlockSize: 256, Seed: 1},
+		&kernels.Transpose{Variant: 0, N: 512, Seed: 1},
+		&kernels.Histogram{Variant: 1, N: 1 << 18, Seed: 1},
+	}
+	for _, w := range suite {
+		seen := make(map[runcache.Key]string)
+		base := p.RunKey(w)
+		seen[base] = "baseline"
+		params := w.Params()
+		for name, cur := range params {
+			for _, v := range w.ParamDomain(name) {
+				if v == cur {
+					continue
+				}
+				tw, err := w.WithParam(name, v)
+				if err != nil {
+					t.Fatalf("%s: WithParam(%s, %d): %v", w.Name(), name, v, err)
+				}
+				key := p.RunKey(tw)
+				label := fmt.Sprintf("%s=%d", name, v)
+				if prev, dup := seen[key]; dup {
+					t.Errorf("%s: transform %s shares a run key with %s", w.Name(), label, prev)
+				}
+				seen[key] = label
+			}
+		}
+	}
+}
+
+// TestReplay: a decision log round-trips through JSON and replays
+// bit-exactly from the baseline workload; a tampered log is rejected.
+func TestReplay(t *testing.T) {
+	dev := gtx580(t)
+	cfg := testConfig(dev)
+	res, err := Optimize(detuned(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted == 0 {
+		t.Fatal("test needs an accepted step")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	log, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Accepted != res.Accepted || log.Tried != res.Tried {
+		t.Fatalf("log counts %d/%d, want %d/%d", log.Accepted, log.Tried, res.Accepted, res.Tried)
+	}
+	if err := Replay(detuned(1), log, Config{Device: dev}); err != nil {
+		t.Fatalf("faithful log failed replay: %v", err)
+	}
+
+	tampered := *log
+	tampered.Final = log.Final
+	tampered.Final.Params = map[string]int{"block_size": 64, "max_blocks": 32}
+	if err := Replay(detuned(1), &tampered, Config{Device: dev}); err == nil {
+		t.Fatal("tampered final params passed replay")
+	}
+	tampered2 := *log
+	tampered2.Baseline.Cycles++
+	if err := Replay(detuned(1), &tampered2, Config{Device: dev}); err == nil {
+		t.Fatal("tampered baseline cycles passed replay")
+	}
+}
+
+// TestOptimizeTransformMenu: an explicit menu restricts the search.
+func TestOptimizeTransformMenu(t *testing.T) {
+	dev := gtx580(t)
+	cfg := testConfig(dev)
+	cfg.Transforms = []Transform{{"block_size", 256}}
+	res, err := Optimize(detuned(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Decisions {
+		if d.Transform != (Transform{"block_size", 256}) {
+			t.Fatalf("off-menu transform tried: %+v", d)
+		}
+	}
+	if res.Final.Params["block_size"] != 256 {
+		t.Fatalf("menu transform not applied: final %v", res.Final.Params)
+	}
+}

@@ -1,0 +1,160 @@
+package optimize
+
+import (
+	"testing"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/kernels"
+	"blackforest/internal/profiler"
+)
+
+// TestRegimePinning pins the classifier's diagnosis for every kernel ×
+// device pair in the stock suite (plus two configurations constructed to
+// reach the rarer regimes). These are the simulator's own cycle
+// accountings read through the classifier, so a change here means either
+// the timing model or the classification thresholds moved — both worth
+// noticing.
+func TestRegimePinning(t *testing.T) {
+	mk := map[string]func() Tunable{
+		"matmul-512": func() Tunable { return &kernels.MatMul{N: 512, Seed: 1} },
+		"reduce0":    func() Tunable { return &kernels.Reduction{Variant: 0, N: 1 << 20, BlockSize: 256, Seed: 1} },
+		"reduce1":    func() Tunable { return &kernels.Reduction{Variant: 1, N: 1 << 20, BlockSize: 256, Seed: 1} },
+		"reduce6":    func() Tunable { return &kernels.Reduction{Variant: 6, N: 1 << 20, BlockSize: 256, Seed: 1} },
+		"reduce6-starve": func() Tunable {
+			return &kernels.Reduction{Variant: 6, N: 1 << 20, BlockSize: 256, MaxBlocks: 8, Seed: 1}
+		},
+		"transpose0": func() Tunable { return &kernels.Transpose{Variant: 0, N: 1024, Seed: 1} },
+		"transpose1": func() Tunable { return &kernels.Transpose{Variant: 1, N: 1024, Seed: 1} },
+		"transpose2": func() Tunable { return &kernels.Transpose{Variant: 2, N: 1024, Seed: 1} },
+		"histogram0-skew": func() Tunable {
+			return &kernels.Histogram{Variant: 0, N: 1 << 20, Skew: 0.6, Seed: 1}
+		},
+		"histogram1": func() Tunable { return &kernels.Histogram{Variant: 1, N: 1 << 20, Seed: 1} },
+	}
+	cases := []struct {
+		kernel string
+		device string
+		want   Regime
+	}{
+		// The naive transpose's uncoalesced writes and the final
+		// reduction's streaming loads saturate DRAM on both devices;
+		// matmul at 512 saturates Fermi's bus but on Kepler (faster bus,
+		// lower clock:bandwidth ratio) memory time is exposed latency.
+		{"matmul-512", "GTX580", RegimeMemBandwidth},
+		{"matmul-512", "K20m", RegimeLatency},
+		// The early reduction variants are bound by instruction issue
+		// (divergent/interleaved addressing costs issue slots, not
+		// replays, in this model).
+		{"reduce0", "GTX580", RegimeCompute},
+		{"reduce0", "K20m", RegimeCompute},
+		{"reduce1", "GTX580", RegimeCompute},
+		{"reduce1", "K20m", RegimeCompute},
+		{"reduce6", "GTX580", RegimeMemBandwidth},
+		{"reduce6", "K20m", RegimeMemBandwidth},
+		// Starving the grid to 8 blocks exposes latency on Kepler's 13
+		// SMs (occupancy 0.08); Fermi's narrower bus still saturates.
+		{"reduce6-starve", "GTX580", RegimeMemBandwidth},
+		{"reduce6-starve", "K20m", RegimeUnderOccupied},
+		{"transpose0", "GTX580", RegimeMemBandwidth},
+		{"transpose0", "K20m", RegimeMemBandwidth},
+		// The unpadded shared-memory tile hits 32-way bank conflicts.
+		{"transpose1", "GTX580", RegimeReplay},
+		{"transpose1", "K20m", RegimeReplay},
+		{"transpose2", "GTX580", RegimeMemBandwidth},
+		{"transpose2", "K20m", RegimeMemBandwidth},
+		// Skewed input serializes global atomics on bin 0.
+		{"histogram0-skew", "GTX580", RegimeAtomic},
+		{"histogram0-skew", "K20m", RegimeAtomic},
+		{"histogram1", "GTX580", RegimeMemBandwidth},
+		{"histogram1", "K20m", RegimeMemBandwidth},
+	}
+	for _, c := range cases {
+		t.Run(c.kernel+"/"+c.device, func(t *testing.T) {
+			dev, err := gpusim.LookupDevice(c.device)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := profiler.New(dev, profiler.Options{MaxSimBlocks: 24, NoiseSigma: -1})
+			prof, err := p.Run(mk[c.kernel]())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := Classify(dev, prof)
+			if got.Regime != c.want {
+				t.Errorf("regime = %s, want %s (%s)", got.Regime, c.want, got.Why)
+			}
+		})
+	}
+}
+
+// TestClassificationEvidence spot-checks the numeric evidence behind two
+// contrasting diagnoses.
+func TestClassificationEvidence(t *testing.T) {
+	dev, _ := gpusim.LookupDevice("GTX580")
+	p := profiler.New(dev, profiler.Options{MaxSimBlocks: 24, NoiseSigma: -1})
+
+	prof, err := p.Run(&kernels.Transpose{Variant: 0, N: 1024, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Classify(dev, prof)
+	if !c.Point.MemorySide {
+		t.Errorf("transpose0 should sit on the memory side (intensity %.3f, ridge %.3f)",
+			c.Point.OpsPerByte, c.Roofline.RidgeOpsPerByte)
+	}
+	if c.BandwidthUtil < 0.8 {
+		t.Errorf("transpose0 bandwidth utilization %.2f, expected near peak", c.BandwidthUtil)
+	}
+	if c.Why == "" {
+		t.Error("classification has no justification")
+	}
+
+	prof, err = p.Run(&kernels.Histogram{Variant: 0, N: 1 << 20, Skew: 0.6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = Classify(dev, prof)
+	if c.Shares["atomic serialization"] < 0.5 {
+		t.Errorf("skewed histogram atomic share %.2f, expected dominant", c.Shares["atomic serialization"])
+	}
+	sum := 0.0
+	for _, s := range c.Shares {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("breakdown shares sum to %.4f, want 1 (PinTotal partition)", sum)
+	}
+}
+
+// TestRooflinePlacement checks the placement arithmetic on a synthetic
+// profile with hand-computable numbers.
+func TestRooflinePlacement(t *testing.T) {
+	dev, _ := gpusim.LookupDevice("GTX580")
+	rl := NewRoofline(dev)
+	if rl.PeakGOps != float64(dev.SMs*dev.CoresPerSM)*dev.ClockGHz {
+		t.Fatalf("PeakGOps = %v", rl.PeakGOps)
+	}
+	// One second of work: cycles = clock in Hz.
+	p := &profiler.Profile{
+		Cycles:     dev.ClockGHz * 1e9,
+		ComputeOps: 100e9,
+		DRAMBytes:  50e9,
+	}
+	pt := rl.Place(p)
+	if pt.OpsPerByte != 2 {
+		t.Errorf("intensity = %v, want 2", pt.OpsPerByte)
+	}
+	if pt.AchievedGOps != 100 {
+		t.Errorf("achieved = %v GOps, want 100", pt.AchievedGOps)
+	}
+	if pt.AchievedGBps != 50 {
+		t.Errorf("achieved = %v GB/s, want 50", pt.AchievedGBps)
+	}
+	wantCeiling := 2 * rl.PeakGBps // left of the ridge
+	if pt.CeilingGOps != wantCeiling {
+		t.Errorf("ceiling = %v, want %v", pt.CeilingGOps, wantCeiling)
+	}
+	if !pt.MemorySide {
+		t.Error("intensity 2 on GTX580 should be memory side")
+	}
+}

@@ -1,0 +1,108 @@
+package optimize
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/report"
+)
+
+// RenderBreakdown writes the cycle-accounting table for one breakdown:
+// category, cycles, and share of the total. This is the single source of
+// the table blackforest -explain and -optimize both print.
+func RenderBreakdown(w io.Writer, b *gpusim.BottleneckBreakdown, totalCycles float64) error {
+	cats := BreakdownCategories(b)
+	rows := make([][]string, 0, len(cats))
+	for _, c := range cats {
+		share := 0.0
+		if totalCycles > 0 {
+			share = 100 * c.Cycles / totalCycles
+		}
+		rows = append(rows, []string{c.Name, fmt.Sprintf("%.4g", c.Cycles), fmt.Sprintf("%.1f%%", share)})
+	}
+	return report.Table(w, []string{"category", "cycles", "share"}, rows)
+}
+
+// ParamsString renders a parameter map as sorted "k=v" pairs — the
+// stable one-line form the reports and logs use.
+func ParamsString(params map[string]int) string {
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, params[name]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Render writes the human-readable optimization report: the regime
+// diagnosis with its roofline evidence, the decision table, the
+// before/after configurations, and the before/after cycle accounting.
+func (r *Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== optimize: %s on %s ==\n\n", r.Workload, r.Device)
+
+	c := &r.Classification
+	fmt.Fprintf(w, "regime: %s — %s\n", c.Regime, c.Why)
+	side := "compute"
+	if c.Point.MemorySide {
+		side = "memory"
+	}
+	fmt.Fprintf(w, "roofline: intensity %.3g ops/B (ridge %.3g) — %s side; %.1f GOps/s achieved, ceiling %.1f of %.1f peak\n",
+		c.Point.OpsPerByte, c.Roofline.RidgeOpsPerByte, side,
+		c.Point.AchievedGOps, c.Point.CeilingGOps, c.Roofline.PeakGOps)
+	fmt.Fprintf(w, "occupancy %.2f; DRAM %.1f GB/s of %.1f peak (%.0f%%)\n\n",
+		c.Occupancy, c.Point.AchievedGBps, c.Roofline.PeakGBps, 100*c.BandwidthUtil)
+
+	fmt.Fprintf(w, "search: %d candidates tried, %d accepted, %d rejected, %d rolled back, %d invalid (min gain %.2g%%, sim blocks %d→%d)\n",
+		r.Tried, r.Accepted, r.Rejected, r.RolledBack, r.Invalid,
+		r.MinGainPct, r.SearchSimBlocks, r.ValidateSimBlocks)
+	if len(r.Decisions) > 0 {
+		rows := make([][]string, 0, len(r.Decisions))
+		for _, d := range r.Decisions {
+			search, validated := "-", "-"
+			if d.Outcome != OutcomeInvalid {
+				search = fmt.Sprintf("%.4g (%+.1f%%)", d.SearchCycles, d.SearchGainPct)
+			}
+			if d.ValidatedCycles != 0 {
+				validated = fmt.Sprintf("%.4g (%+.1f%%)", d.ValidatedCycles, d.ValidatedGainPct)
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", d.Step),
+				fmt.Sprintf("%s (from %d)", d.Transform, d.From),
+				search, validated, string(d.Outcome),
+			})
+		}
+		if err := report.Table(w, []string{"step", "transform", "search cycles", "validated", "outcome"}, rows); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "\nbaseline: %s — %.4g cycles (%.4f ms, occupancy %.2f)\n",
+		ParamsString(r.Baseline.Params), r.Baseline.Cycles, r.Baseline.TimeMS, r.Baseline.Occupancy)
+	fmt.Fprintf(w, "final:    %s — %.4g cycles (%.4f ms, occupancy %.2f)",
+		ParamsString(r.Final.Params), r.Final.Cycles, r.Final.TimeMS, r.Final.Occupancy)
+	if r.Accepted > 0 {
+		fmt.Fprintf(w, " — %.1f%% fewer cycles, regime now %s", r.GainPct, r.FinalRegime)
+	} else {
+		fmt.Fprintf(w, " — unchanged")
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "\ncycle accounting, baseline:\n")
+	if err := RenderBreakdown(w, &r.Baseline.Breakdown, r.Baseline.Cycles); err != nil {
+		return err
+	}
+	if r.Accepted > 0 {
+		fmt.Fprintf(w, "\ncycle accounting, optimized:\n")
+		if err := RenderBreakdown(w, &r.Final.Breakdown, r.Final.Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package optimize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blackforest/internal/gpusim"
+)
+
+// TestRenderBreakdownGolden pins the exact rendered table — the format
+// blackforest -explain has always printed and -optimize now shares. Any
+// drift here changes user-visible CLI output.
+func TestRenderBreakdownGolden(t *testing.T) {
+	b := &gpusim.BottleneckBreakdown{
+		IssueCycles: 1234.5, MemLatencyCycles: 56789, BarrierCycles: 100,
+		SharedReplayCycles: 0, UncoalescedCycles: 876.5, AtomicCycles: 1000,
+	}
+	var buf bytes.Buffer
+	if err := RenderBreakdown(&buf, b, b.Total()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"category                  cycles     share",
+		"------------------------  ---------  -----",
+		"issue/arithmetic          1234       2.1%",
+		"memory latency/bandwidth  5.679e+04  94.6%",
+		"barrier wait              100        0.2%",
+		"shared-memory replay      0          0.0%",
+		"uncoalesced transactions  876.5      1.5%",
+		"atomic serialization      1000       1.7%",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("rendered table drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRenderBreakdownZeroTotal: a zero-cycle breakdown renders 0.0%
+// shares rather than NaN.
+func TestRenderBreakdownZeroTotal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderBreakdown(&buf, &gpusim.BottleneckBreakdown{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatalf("zero-total breakdown rendered NaN:\n%s", buf.String())
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	got := ParamsString(map[string]int{"unroll": 0, "tile": 32})
+	if got != "tile=32 unroll=0" {
+		t.Fatalf("ParamsString = %q, want sorted \"tile=32 unroll=0\"", got)
+	}
+	if got := ParamsString(nil); got != "" {
+		t.Fatalf("ParamsString(nil) = %q", got)
+	}
+}
+
+// TestResultRender smoke-checks the full report renderer on a synthetic
+// result (sections present, no panics on edge values).
+func TestResultRender(t *testing.T) {
+	res := &Result{
+		Workload: "fake", Device: "GTX580",
+		SearchSimBlocks: 4, ValidateSimBlocks: 8, MinGainPct: 1,
+		Classification: Classification{
+			Regime: RegimeMemBandwidth, Why: "test",
+			Shares: map[string]float64{},
+		},
+		FinalRegime: RegimeCompute,
+		Baseline:    Variant{Params: map[string]int{"x": 1}, Cycles: 1000},
+		Final:       Variant{Params: map[string]int{"x": 2}, Cycles: 900},
+		GainPct:     10,
+		Decisions: []Decision{
+			{Step: 1, Transform: Transform{"x", 2}, From: 1, SearchCycles: 910,
+				SearchGainPct: 9, ValidatedCycles: 900, ValidatedGainPct: 10,
+				Outcome: OutcomeAccepted, Reason: "validated gain 10.00% over incumbent"},
+			{Step: 1, Transform: Transform{"x", 3}, From: 1, Outcome: OutcomeInvalid, Reason: "bad"},
+		},
+	}
+	res.recount()
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== optimize: fake on GTX580 ==",
+		"regime: memory-bandwidth-bound",
+		"1 accepted", "1 invalid",
+		"baseline: x=1",
+		"final:    x=2",
+		"10.0% fewer cycles",
+		"cycle accounting, baseline:",
+		"cycle accounting, optimized:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

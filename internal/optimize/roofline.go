@@ -1,0 +1,76 @@
+package optimize
+
+import (
+	"math"
+
+	"blackforest/internal/gpusim"
+	"blackforest/internal/profiler"
+)
+
+// Roofline is a device's roofline model: the flat compute ceiling
+// (PeakGOps, in billions of thread-ops per second, the unit the
+// simulator's alu term charges), the memory-bandwidth slope (PeakGBps),
+// and the ridge point where they meet. A kernel whose arithmetic
+// intensity falls left of the ridge cannot exceed the bandwidth slope no
+// matter how well it computes; right of the ridge the compute ceiling
+// binds.
+type Roofline struct {
+	Device          string  `json:"device"`
+	PeakGOps        float64 `json:"peak_gops"`
+	PeakGBps        float64 `json:"peak_gbps"`
+	RidgeOpsPerByte float64 `json:"ridge_ops_per_byte"`
+	clockGHz        float64
+}
+
+// NewRoofline derives the roofline from a device's peak rates.
+func NewRoofline(dev *gpusim.Device) Roofline {
+	return Roofline{
+		Device:          dev.Name,
+		PeakGOps:        dev.PeakGOps(),
+		PeakGBps:        dev.MemBandwidthGBps,
+		RidgeOpsPerByte: dev.RidgeOpsPerByte(),
+		clockGHz:        dev.ClockGHz,
+	}
+}
+
+// Point is one profiled run placed on the roofline.
+type Point struct {
+	// OpsPerByte is the run's arithmetic intensity: total thread-ops per
+	// DRAM byte moved. +Inf when the run touches no DRAM.
+	OpsPerByte float64 `json:"ops_per_byte"`
+	// AchievedGOps and AchievedGBps are the run's realized compute and
+	// DRAM throughput over the modeled (noise-free) cycle time.
+	AchievedGOps float64 `json:"achieved_gops"`
+	AchievedGBps float64 `json:"achieved_gbps"`
+	// CeilingGOps is the roofline bound at this intensity:
+	// min(PeakGOps, OpsPerByte·PeakGBps).
+	CeilingGOps float64 `json:"ceiling_gops"`
+	// Utilization is AchievedGOps/CeilingGOps — how close the run sits
+	// under its own roof.
+	Utilization float64 `json:"utilization"`
+	// MemorySide is true when the intensity is left of the ridge point,
+	// i.e. the bandwidth slope is the binding ceiling.
+	MemorySide bool `json:"memory_side"`
+}
+
+// Place positions one profile on the roofline using its modeled cycles
+// (never the noisy measured time: placement must be deterministic).
+func (r Roofline) Place(p *profiler.Profile) Point {
+	var pt Point
+	seconds := p.Cycles / (r.clockGHz * 1e9)
+	if p.DRAMBytes > 0 {
+		pt.OpsPerByte = p.ComputeOps / p.DRAMBytes
+	} else {
+		pt.OpsPerByte = math.Inf(1)
+	}
+	if seconds > 0 {
+		pt.AchievedGOps = p.ComputeOps / seconds / 1e9
+		pt.AchievedGBps = p.DRAMBytes / seconds / 1e9
+	}
+	pt.CeilingGOps = math.Min(r.PeakGOps, pt.OpsPerByte*r.PeakGBps)
+	if pt.CeilingGOps > 0 {
+		pt.Utilization = pt.AchievedGOps / pt.CeilingGOps
+	}
+	pt.MemorySide = pt.OpsPerByte < r.RidgeOpsPerByte
+	return pt
+}

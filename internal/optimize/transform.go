@@ -1,0 +1,105 @@
+// Package optimize closes the loop the paper leaves open: having located a
+// kernel's bottleneck (the analysis pipeline) and predicted its runtime
+// (the scaling models), it classifies the bottleneck regime against the
+// device roofline and searches launch-configuration transformations —
+// block geometry, tile size, unroll factor — for validated cycle
+// improvements, re-simulating every candidate through the shared run
+// cache. Every accepted step is recorded in an auditable decision log and
+// every regression found at validation fidelity is rolled back.
+package optimize
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"blackforest/internal/profiler"
+)
+
+// Tunable is a workload exposing launch-configuration parameters the
+// optimizer may transform. It is implemented structurally by the kernels
+// package (which cannot import this one): Params reports the effective
+// value of every tunable parameter, ParamDomain the legal values of one,
+// and WithParam builds a fresh, unplanned copy with one parameter changed
+// — the original is never mutated, so the incumbent stays runnable.
+type Tunable interface {
+	profiler.Workload
+	Params() map[string]int
+	ParamDomain(name string) []int
+	WithParam(name string, value int) (profiler.Workload, error)
+}
+
+// Transform is one launch-configuration edit: set parameter Param to
+// Value.
+type Transform struct {
+	Param string `json:"param"`
+	Value int    `json:"value"`
+}
+
+// String renders the transform in the parsable "param=value" form.
+func (t Transform) String() string {
+	return fmt.Sprintf("%s=%d", t.Param, t.Value)
+}
+
+// ParseTransform parses one "param=value" spec. Parameter names are the
+// kernels' launch-config identifiers: lowercase letters, digits and
+// underscores, starting with a letter.
+func ParseTransform(s string) (Transform, error) {
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return Transform{}, fmt.Errorf("optimize: transform %q is not param=value", s)
+	}
+	name := strings.TrimSpace(s[:eq])
+	if err := checkParamName(name); err != nil {
+		return Transform{}, err
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(s[eq+1:]))
+	if err != nil {
+		return Transform{}, fmt.Errorf("optimize: transform %q has a non-integer value", s)
+	}
+	if v < 0 {
+		return Transform{}, fmt.Errorf("optimize: transform %q has a negative value", s)
+	}
+	return Transform{Param: name, Value: v}, nil
+}
+
+// ParseTransforms parses a comma-separated list of "param=value" specs,
+// the -transforms flag format. An empty string means no restriction
+// (search every parameter's full domain) and returns nil.
+func ParseTransforms(s string) ([]Transform, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]Transform, 0, len(parts))
+	seen := make(map[Transform]bool, len(parts))
+	for _, part := range parts {
+		t, err := ParseTransform(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("optimize: duplicate transform %s", t)
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func checkParamName(name string) error {
+	if name == "" {
+		return fmt.Errorf("optimize: empty parameter name")
+	}
+	for i, r := range name {
+		lower := r >= 'a' && r <= 'z'
+		digit := r >= '0' && r <= '9'
+		if i == 0 && !lower {
+			return fmt.Errorf("optimize: parameter %q must start with a lowercase letter", name)
+		}
+		if !lower && !digit && r != '_' {
+			return fmt.Errorf("optimize: parameter %q has invalid character %q", name, r)
+		}
+	}
+	return nil
+}

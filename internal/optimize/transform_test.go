@@ -1,0 +1,95 @@
+package optimize
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseTransform(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Transform
+		wantErr bool
+	}{
+		{"tile=32", Transform{"tile", 32}, false},
+		{"block_rows=8", Transform{"block_rows", 8}, false},
+		{"unroll=0", Transform{"unroll", 0}, false},
+		{" tile = 32 ", Transform{"tile", 32}, false},
+		{"tile", Transform{}, true},
+		{"=32", Transform{}, true},
+		{"tile=", Transform{}, true},
+		{"tile=abc", Transform{}, true},
+		{"tile=-4", Transform{}, true},
+		{"Tile=32", Transform{}, true},
+		{"9tile=32", Transform{}, true},
+		{"til e=32", Transform{}, true},
+		{"tile=3.5", Transform{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTransform(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseTransform(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseTransform(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTransformRoundTrip(t *testing.T) {
+	for _, tr := range []Transform{{"tile", 32}, {"unroll", 0}, {"block_rows", 16}} {
+		got, err := ParseTransform(tr.String())
+		if err != nil {
+			t.Fatalf("round trip %v: %v", tr, err)
+		}
+		if got != tr {
+			t.Fatalf("round trip %v -> %v", tr, got)
+		}
+	}
+}
+
+func TestParseTransforms(t *testing.T) {
+	got, err := ParseTransforms("tile=32, unroll=4,block_rows=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Transform{{"tile", 32}, {"unroll", 4}, {"block_rows", 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if got, err := ParseTransforms("  "); err != nil || got != nil {
+		t.Fatalf("empty spec: got %v, %v; want nil, nil", got, err)
+	}
+	if _, err := ParseTransforms("tile=32,tile=32"); err == nil {
+		t.Fatal("duplicate transform accepted")
+	}
+	if _, err := ParseTransforms("tile=32,,unroll=4"); err == nil {
+		t.Fatal("empty element accepted")
+	}
+}
+
+// FuzzParseTransform checks the parser never panics and that every
+// accepted spec round-trips through String to the same transform.
+func FuzzParseTransform(f *testing.F) {
+	for _, seed := range []string{"tile=32", "unroll=0", "block_rows=8", "=", "a=b", "x=-1",
+		"tile=32,unroll=4", " tile = 1 ", "_x=2", "a=99999999999999999999"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ParseTransform(s)
+		if err != nil {
+			return
+		}
+		if tr.Param == "" {
+			t.Fatalf("ParseTransform(%q) accepted an empty parameter name", s)
+		}
+		if tr.Value < 0 {
+			t.Fatalf("ParseTransform(%q) accepted negative value %d", s, tr.Value)
+		}
+		back, err := ParseTransform(tr.String())
+		if err != nil || back != tr {
+			t.Fatalf("ParseTransform(%q) = %v does not round-trip: %v, %v", s, tr, back, err)
+		}
+	})
+}

@@ -13,7 +13,7 @@ import (
 // derived changes, so stale cache entries from older binaries can never
 // be mistaken for current results. (Simulator-model changes are covered
 // separately by gpusim.ModelVersion.)
-const profileCacheVersion = "profile-v2"
+const profileCacheVersion = "profile-v3"
 
 // NewRunCache builds a content-addressed cache of profiles, keyed by
 // RunKey and serialized as JSON (Go's float64 JSON encoding is
